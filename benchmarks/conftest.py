@@ -1,0 +1,28 @@
+"""Benchmark-suite helpers.
+
+Each benchmark runs one paper experiment exactly once (via
+``benchmark.pedantic(..., rounds=1, iterations=1)``), prints the
+reproduced table/series, and archives it under ``benchmarks/results/`` so
+the output survives pytest's capture regardless of ``-s``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Callable(title, text) that prints and archives a result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print("\n" + text + "\n")
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _report

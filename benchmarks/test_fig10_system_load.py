@@ -1,0 +1,79 @@
+"""Fig. 10 — system-load analysis: update cycle F and client count.
+
+Paper: (a) latency falls as F grows from 150 to 900 and stabilizes past
+F=300, while accuracy slowly declines (stale caches); (b) cache-request
+response latency rises mildly with the client count (56.70 ms at 60
+clients to 60.93 ms at 160, +7.46%).
+"""
+
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.experiments import (
+    Scenario,
+    run_client_load_sweep,
+    run_update_cycle_sweep,
+)
+
+
+def _format_10a(points):
+    lines = ["Fig 10a: VGG16_BN, long-tail UCF101-100 — update cycle sweep"]
+    lines.append(f"{'F':>6s} {'lat(ms)':>9s} {'acc(%)':>8s}")
+    for p in points:
+        lines.append(f"{p.frames_per_round:6d} {p.latency_ms:9.2f} {p.accuracy_pct:8.2f}")
+    return "\n".join(lines)
+
+
+def _format_10b(points):
+    lines = ["Fig 10b: cache-request response latency vs #clients"]
+    lines.append(f"{'clients':>8s} {'resp(ms)':>9s}")
+    for p in points:
+        lines.append(f"{p.num_clients:8d} {p.response_latency_ms:9.2f}")
+    return "\n".join(lines)
+
+
+def test_fig10a_update_cycle(benchmark, report):
+    scenario = Scenario(
+        dataset=get_dataset("ucf101", 100),
+        model_name="vgg16_bn",
+        num_clients=4,
+        non_iid_level=1.0,
+        longtail_rho=90.0,
+        seed=43,
+    )
+    points = benchmark.pedantic(
+        lambda: run_update_cycle_sweep(
+            scenario,
+            cycles=(150, 300, 450, 600, 750, 900),
+            theta=0.05,
+            total_frames=2400,
+            warmup_frames=300,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig10a_update_cycle", _format_10a(points))
+
+    by_cycle = {p.frames_per_round: p for p in points}
+    # Short cycles pay the request overhead most: F=150 is slower than
+    # the stable region per-frame overheads imply.
+    assert by_cycle[150].latency_ms > by_cycle[900].latency_ms - 0.5
+    # Past F=300 latency stabilizes (within ~3 ms band).
+    stable = [by_cycle[f].latency_ms for f in (300, 450, 600, 750, 900)]
+    assert max(stable) - min(stable) < 4.0
+
+
+def test_fig10b_client_load(benchmark, report):
+    points = benchmark.pedantic(
+        lambda: run_client_load_sweep(client_counts=(60, 80, 100, 120, 140, 160)),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig10b_client_load", _format_10b(points))
+
+    lats = [p.response_latency_ms for p in points]
+    # Monotone growth, calibrated to the paper's anchors, modest slope.
+    assert all(a < b for a, b in zip(lats, lats[1:]))
+    assert lats[0] == pytest.approx(56.70, abs=1.0)
+    assert lats[-1] == pytest.approx(60.93, abs=1.0)
+    assert lats[-1] / lats[0] - 1 < 0.12

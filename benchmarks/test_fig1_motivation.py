@@ -1,0 +1,86 @@
+"""Fig. 1a / Fig. 1b — motivation: cache size and per-layer behaviour.
+
+Paper (ResNet101, UCF101-50): a moderate cache minimizes latency (~10% of
+the full cache size, ~28% below no-cache) while accuracy stays within 2%;
+with every layer active, per-layer hit ratios and accuracies vary strongly
+with depth.
+"""
+
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.experiments import run_cache_size_sweep, run_per_layer_stats
+
+SAMPLES = 1200
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return get_dataset("ucf101", 50)
+
+
+def _format_fig1a(points):
+    lines = ["Fig 1a: ResNet101 / UCF101-50 — latency & accuracy vs cache size"]
+    lines.append(f"{'size%':>7s} {'layers':>7s} {'lat(ms)':>9s} {'acc(%)':>8s} {'HR(%)':>7s}")
+    for p in points:
+        lines.append(
+            f"{100 * p.size_fraction:7.1f} {p.num_layers:7d} "
+            f"{p.latency_ms:9.2f} {p.accuracy_pct:8.2f} {p.hit_ratio_pct:7.1f}"
+        )
+    return "\n".join(lines)
+
+
+def _format_fig1b(points):
+    lines = ["Fig 1b: per-layer hit ratio / hit accuracy (all 34 layers active)"]
+    lines.append(f"{'layer':>6s} {'hitratio(%)':>12s} {'hitacc(%)':>10s}")
+    for p in points:
+        lines.append(f"{p.layer:6d} {p.hit_ratio_pct:12.2f} {p.hit_accuracy_pct:10.2f}")
+    return "\n".join(lines)
+
+
+def test_fig1a_cache_size_sweep(benchmark, report, dataset):
+    points = benchmark.pedantic(
+        lambda: run_cache_size_sweep(dataset, num_samples=SAMPLES, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig1a_cache_size", _format_fig1a(points))
+
+    no_cache = points[0]
+    cached = points[1:]
+    best = min(cached, key=lambda p: p.latency_ms)
+    # Shape 1: a cache reduces latency vs no cache, substantially.
+    assert best.latency_ms < 0.85 * no_cache.latency_ms
+    # Shape 2: the optimum is a *small* cache (not the full one).
+    assert best.size_fraction < 0.5
+    # Shape 3: the largest cache is slower than the best one (lookup cost).
+    assert cached[-1].latency_ms > best.latency_ms
+    # Shape 4: accuracy stays within a few points throughout.
+    for p in cached:
+        assert abs(p.accuracy_pct - no_cache.accuracy_pct) < 6.0
+
+
+def test_fig1b_per_layer_stats(benchmark, report, dataset):
+    points = benchmark.pedantic(
+        lambda: run_per_layer_stats(dataset, num_samples=SAMPLES, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig1b_per_layer", _format_fig1b(points))
+
+    assert len(points) == 34
+    active = [p for p in points if p.hit_ratio_pct > 0.5]
+    assert active, "some layers must hit"
+    # Hit ratio is front-loaded: the first layers catch the easy samples
+    # (high temporal-locality frames), middle layers catch little.
+    shallow_hr = sum(p.hit_ratio_pct for p in points[:5])
+    middle_hr = sum(p.hit_ratio_pct for p in points[10:15])
+    assert shallow_hr > middle_hr
+    # Deep layers hit mainly difficult samples, with decreased accuracy
+    # (the paper's Fig. 1b observation for the deep end).
+    deep = [p for p in active if p.layer >= 17]
+    shallow = [p for p in active if p.layer < 5]
+    if deep and shallow:
+        assert max(p.hit_accuracy_pct for p in deep) < max(
+            p.hit_accuracy_pct for p in shallow
+        )

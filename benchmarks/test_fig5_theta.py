@@ -1,0 +1,58 @@
+"""Fig. 5 — the impact of the hit threshold Theta.
+
+Paper (VGG16_BN and ResNet101): raising Theta lowers the hit ratio but
+raises hit accuracy, overall accuracy and latency.  Our Theta values live
+on this reproduction's own scale (see EXPERIMENTS.md); the *shape* is the
+reproduced result.
+"""
+
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.experiments import Scenario, run_theta_sweep
+
+THETAS = {
+    "vgg16_bn": (0.03, 0.045, 0.06, 0.075, 0.09),
+    "resnet101": (0.02, 0.035, 0.05, 0.065, 0.08),
+}
+
+
+def _format(points, title):
+    lines = [
+        title,
+        f"{'theta':>7s} {'lat(ms)':>9s} {'acc(%)':>8s} {'hitacc(%)':>10s} {'HR(%)':>7s}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.theta:7.3f} {p.latency_ms:9.2f} {p.total_accuracy_pct:8.2f} "
+            f"{p.hit_accuracy_pct:10.2f} {p.hit_ratio_pct:7.1f}"
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("model_name", ["vgg16_bn", "resnet101"])
+def test_fig5_theta_sweep(benchmark, report, model_name):
+    scenario = Scenario(
+        dataset=get_dataset("ucf101", 50),
+        model_name=model_name,
+        num_clients=4,
+        non_iid_level=1.0,
+        seed=13,
+    )
+    points = benchmark.pedantic(
+        lambda: run_theta_sweep(
+            scenario, thetas=THETAS[model_name], rounds=3, warmup=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(f"fig5_theta_{model_name}", _format(points, f"Fig 5: {model_name} Theta sweep"))
+
+    first, last = points[0], points[-1]
+    # Hit ratio falls as the criterion tightens.
+    assert last.hit_ratio_pct < first.hit_ratio_pct
+    # Hit accuracy and latency rise.
+    assert last.hit_accuracy_pct >= first.hit_accuracy_pct - 1.0
+    assert last.latency_ms > first.latency_ms
+    # Overall accuracy does not degrade when tightening.
+    assert last.total_accuracy_pct >= first.total_accuracy_pct - 1.5

@@ -1,0 +1,68 @@
+"""Fig. 6 — sample-collection thresholds Gamma and Delta.
+
+Paper (ResNet101 / UCF101): raising either threshold lowers the absorption
+ratio (fewer samples collected for global updates) while the collected
+samples' label accuracy rises.
+"""
+
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.experiments import Scenario, run_delta_sweep, run_gamma_sweep
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return Scenario(
+        dataset=get_dataset("ucf101", 50),
+        model_name="resnet101",
+        num_clients=4,
+        non_iid_level=1.0,
+        seed=17,
+    )
+
+
+def _format(points, title, symbol):
+    lines = [title, f"{symbol:>7s} {'absorption(%)':>14s} {'collected acc(%)':>17s}"]
+    for p in points:
+        lines.append(
+            f"{p.threshold:7.2f} {p.absorption_ratio_pct:14.2f} "
+            f"{p.collected_accuracy_pct:17.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig6a_gamma_sweep(benchmark, report, scenario):
+    points = benchmark.pedantic(
+        lambda: run_gamma_sweep(
+            scenario, gammas=(0.02, 0.05, 0.08, 0.11), rounds=2, warmup=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig6a_gamma", _format(points, "Fig 6a: Gamma sweep (hit reinforcement)", "Gamma"))
+
+    # Absorption falls monotonically with the threshold.
+    ratios = [p.absorption_ratio_pct for p in points]
+    assert ratios[0] > ratios[-1]
+    assert all(a >= b - 3.0 for a, b in zip(ratios, ratios[1:]))
+    # Collected accuracy does not fall as selection tightens (ignore
+    # points that absorbed nothing — their accuracy is undefined).
+    nonempty = [p for p in points if p.absorption_ratio_pct > 0]
+    assert nonempty[-1].collected_accuracy_pct >= nonempty[0].collected_accuracy_pct - 1.0
+
+
+def test_fig6b_delta_sweep(benchmark, report, scenario):
+    points = benchmark.pedantic(
+        lambda: run_delta_sweep(
+            scenario, deltas=(0.05, 0.15, 0.25, 0.40, 0.60), rounds=2, warmup=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig6b_delta", _format(points, "Fig 6b: Delta sweep (miss expansion)", "Delta"))
+
+    ratios = [p.absorption_ratio_pct for p in points]
+    assert ratios[0] > ratios[-1]
+    nonempty = [p for p in points if p.absorption_ratio_pct > 0]
+    assert nonempty[-1].collected_accuracy_pct >= nonempty[0].collected_accuracy_pct - 1.0

@@ -1,0 +1,62 @@
+"""Fig. 7 — latency under different non-IID levels.
+
+Paper (ResNet101/UCF101 and AST/ESC-50): Edge-Only is insensitive to the
+non-IID level; cache-based methods speed up as heterogeneity rises; CoCa
+is fastest throughout.
+"""
+
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.experiments import Scenario, format_method_points, run_noniid_sweep
+
+CONFIGS = {
+    "resnet101": ("ucf101", 50),
+    "ast_base": ("esc50", None),
+}
+
+
+@pytest.mark.parametrize("model_name", list(CONFIGS))
+def test_fig7_noniid_levels(benchmark, report, model_name):
+    dataset_name, subset = CONFIGS[model_name]
+    scenario = Scenario(
+        dataset=get_dataset(dataset_name, subset),
+        model_name=model_name,
+        num_clients=4,
+        seed=29,
+    )
+    points = benchmark.pedantic(
+        lambda: run_noniid_sweep(
+            scenario, levels=(0.0, 1.0, 2.0, 10.0), rounds=3, warmup=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        f"fig7_{model_name}",
+        format_method_points(points, f"Fig 7: {model_name} — latency vs non-IID level"),
+    )
+
+    index = {(p.method, p.setting): p for p in points}
+    # Edge-Only is flat across levels.
+    edge_lats = [index[("Edge-Only", f"p={p:g}")].latency_ms for p in (0.0, 1.0, 2.0, 10.0)]
+    assert max(edge_lats) - min(edge_lats) < 0.01
+    # CoCa beats Edge-Only at every level.
+    for level in (0.0, 1.0, 2.0, 10.0):
+        coca = index[("CoCa", f"p={level:g}")]
+        edge = index[("Edge-Only", f"p={level:g}")]
+        assert coca.latency_ms < edge.latency_ms
+    # CoCa is the fastest cache method at the highest non-IID level among
+    # methods still within a 3-point accuracy envelope of Edge-Only (a
+    # rival trading, say, 8 accuracy points for speed is out of budget).
+    top = f"p={10.0:g}"
+    envelope = index[("Edge-Only", top)].accuracy_pct - 3.0
+    for method in ("LearnedCache", "FoggyCache", "SMTM"):
+        rival = index[(method, top)]
+        if rival.accuracy_pct >= envelope:
+            assert index[("CoCa", top)].latency_ms <= rival.latency_ms * 1.1
+    # Higher heterogeneity does not hurt CoCa (usually helps).
+    assert (
+        index[("CoCa", "p=10")].latency_ms
+        <= index[("CoCa", "p=0")].latency_ms * 1.15
+    )

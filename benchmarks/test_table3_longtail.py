@@ -1,0 +1,48 @@
+"""Table III — uniform vs long-tail class distributions (ImageNet-100).
+
+Paper (ResNet101): LearnedCache/FoggyCache barely change between the two
+groups; SMTM and CoCa get *faster* under the long tail (frequent classes
+cover more of the stream); CoCa is the fastest in both groups with
+competitive accuracy.
+"""
+
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.experiments import Scenario, format_method_points, run_longtail_comparison
+
+
+def test_table3_longtail(benchmark, report):
+    scenario = Scenario(
+        dataset=get_dataset("imagenet100"),
+        model_name="resnet101",
+        num_clients=4,
+        non_iid_level=0.0,
+        seed=31,
+    )
+    points = benchmark.pedantic(
+        lambda: run_longtail_comparison(scenario, rounds=3, warmup=1),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "table3_longtail",
+        format_method_points(points, "Table III: ResNet101 / ImageNet-100 uniform vs long-tail"),
+    )
+
+    index = {(p.method, p.setting): p for p in points}
+    for setting in ("uniform", "long-tail"):
+        edge = index[("Edge-Only", setting)]
+        coca = index[("CoCa", setting)]
+        # CoCa beats Edge-Only by a wide margin in both groups.
+        assert coca.latency_ms < 0.8 * edge.latency_ms
+        # CoCa is the fastest method in the group.
+        for method in ("LearnedCache", "FoggyCache", "SMTM"):
+            assert coca.latency_ms <= index[(method, setting)].latency_ms * 1.05
+        # Accuracy stays within a few points of Edge-Only.
+        assert coca.accuracy_pct > edge.accuracy_pct - 5.0
+    # The long tail does not slow CoCa down (paper: it speeds it up).
+    assert (
+        index[("CoCa", "long-tail")].latency_ms
+        <= index[("CoCa", "uniform")].latency_ms * 1.12
+    )

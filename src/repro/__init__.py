@@ -1,0 +1,34 @@
+"""Reproduction of CoCa: accelerating edge inference via multi-client
+collaborative caching (Liang et al., ICDE 2025).
+
+Public API overview:
+
+* :mod:`repro.core` — the paper's contribution: semantic cache, CoCa
+  client/server, the ACA allocation algorithm, and the round framework.
+* :mod:`repro.models` — calibrated simulated models (VGG/ResNet/AST) with
+  a synthetic semantic feature space (see DESIGN.md for the substitution).
+* :mod:`repro.data` — dataset specs, non-IID / long-tail constructions and
+  temporally-local stream generators.
+* :mod:`repro.baselines` — Edge-Only, LearnedCache, FoggyCache, SMTM and
+  classical replacement policies.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.sim`, :mod:`repro.lsh`, :mod:`repro.analysis` — substrates.
+"""
+
+from repro.core import CoCaConfig, CoCaFramework, SemanticCache, aca_allocate
+from repro.data import get_dataset
+from repro.experiments import Scenario
+from repro.models import build_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoCaConfig",
+    "CoCaFramework",
+    "Scenario",
+    "SemanticCache",
+    "aca_allocate",
+    "build_model",
+    "get_dataset",
+    "__version__",
+]

@@ -1,0 +1,101 @@
+"""Common multi-client round loop shared by all baseline pipelines.
+
+Every baseline (Edge-Only, LearnedCache, FoggyCache, SMTM) processes the
+same scenario streams in rounds of ``F`` frames per client, producing
+:class:`~repro.sim.metrics.InferenceRecord` rows that aggregate exactly
+like CoCa's.  Subclasses implement :meth:`process` (one inference) and may
+override the round hooks for cache maintenance / uploads.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.experiments.scenario import Scenario
+from repro.models.feature import SampleFeatures
+from repro.sim.metrics import InferenceRecord, MetricsCollector
+
+
+class BaselineRunner(ABC):
+    """Drives one inference pipeline over all clients of a scenario.
+
+    Args:
+        scenario: the shared evaluation setting.
+        frames_per_round: frames per client per round (the paper's F).
+    """
+
+    #: Human-readable method name (overridden by subclasses).
+    name: str = "baseline"
+
+    def __init__(self, scenario: Scenario, frames_per_round: int = 300) -> None:
+        if frames_per_round < 1:
+            raise ValueError(f"frames_per_round must be >= 1, got {frames_per_round}")
+        self.scenario = scenario
+        self.model = scenario.model
+        self.frames_per_round = frames_per_round
+        self._rngs = [scenario.client_rng(k) for k in range(scenario.num_clients)]
+        self._streams = [
+            scenario.make_stream(k, self._rngs[k]) for k in range(scenario.num_clients)
+        ]
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def process(self, client_id: int, sample: SampleFeatures) -> InferenceRecord:
+        """Run one inference and return its record."""
+
+    def on_client_round_end(self, client_id: int, round_index: int) -> None:
+        """Per-client end-of-round maintenance (cache refresh, uploads)."""
+
+    def on_round_end(self, round_index: int) -> None:
+        """Global end-of-round maintenance (server-side aggregation)."""
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self, num_rounds: int, warmup_rounds: int = 0) -> MetricsCollector:
+        """Run the pipeline and collect records from the measured rounds."""
+        if num_rounds < 1:
+            raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
+        metrics = MetricsCollector()
+        for r in range(warmup_rounds + num_rounds):
+            measured = r >= warmup_rounds
+            for client_id in range(self.scenario.num_clients):
+                rng = self._rngs[client_id]
+                for frame in self._streams[client_id].take(self.frames_per_round):
+                    sample = self.model.draw_sample(frame, client_id, rng)
+                    record = self.process(client_id, sample)
+                    if measured:
+                        metrics.record(record)
+                self.on_client_round_end(client_id, r)
+            self.on_round_end(r)
+        return metrics
+
+
+class EdgeOnly(BaselineRunner):
+    """The conventional no-acceleration pipeline: full model, every frame."""
+
+    name = "Edge-Only"
+
+    def process(self, client_id: int, sample: SampleFeatures) -> InferenceRecord:
+        predicted, _ = self.model.classify(sample)
+        return InferenceRecord(
+            true_class=sample.true_class,
+            predicted_class=predicted,
+            latency_ms=self.model.total_compute_ms,
+            hit_layer=None,
+            client_id=client_id,
+        )
+
+
+def top2_gap(probabilities: np.ndarray) -> float:
+    """Gap between the two largest entries of a probability vector."""
+    if probabilities.size < 2:
+        return 1.0
+    top2 = np.partition(probabilities, -2)[-2:]
+    return float(abs(top2[1] - top2[0]))

@@ -1,0 +1,224 @@
+"""FoggyCache baseline (Guo et al., MobiCom'18).
+
+FoggyCache reuses computation *across devices*: each client keeps a local
+cache of (feature vector, label) pairs indexed by A-LSH and answered by
+homogenized kNN; on a local miss the query goes to the server, whose cache
+aggregates entries from all clients (the cross-client reuse).  Caches use
+LRU replacement — the policy the CoCa paper singles out as failing under
+long-tail distributions.
+
+Simulation mapping:
+
+* the reuse feature is the semantic vector at a fixed early-mid layer
+  (FoggyCache matches on input-derived features, i.e. shallow
+  representations);
+* a lookup hashes into the A-LSH index and scans only the returned
+  candidates; its cost uses the model's lookup-cost coefficients over the
+  candidate count;
+* a server lookup adds a WiFi round trip (``server_rtt_ms``) and is only
+  worthwhile because a server hit skips the remaining compute;
+* labels are *inferred* (full-model outputs), as with every method here;
+* local caches hold ``local_capacity`` entries with LRU eviction; the
+  server cache aggregates what clients upload at round end.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.baselines.base import BaselineRunner
+from repro.experiments.scenario import Scenario
+from repro.lsh.alsh import AdaptiveLSH
+from repro.lsh.hknn import KnnVote, homogenized_knn
+from repro.models.feature import SampleFeatures
+from repro.sim.metrics import InferenceRecord
+
+
+class LshLruCache:
+    """Fixed-capacity (vector, label) cache: A-LSH candidates, LRU eviction."""
+
+    def __init__(self, capacity: int, dim: int, rng: np.random.Generator) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._index = AdaptiveLSH(dim=dim, rng=rng)
+        # item id -> (vector, label); order = recency (oldest first).
+        self._items: OrderedDict[int, tuple[np.ndarray, int]] = OrderedDict()
+        # Running mean of stored vectors: the standardization center.
+        self._mean = np.zeros(dim)
+        self._mean_count = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def insert(self, vector: np.ndarray, label: int) -> None:
+        vec = np.asarray(vector, dtype=float)
+        item_id = self._index.insert(vec)
+        self._items[item_id] = (vec.copy(), int(label))
+        self._mean_count += 1
+        self._mean += (vec - self._mean) / self._mean_count
+        while len(self._items) > self.capacity:
+            old_id, _ = self._items.popitem(last=False)
+            self._index.delete(old_id)
+
+    def candidates(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray, list[int]]:
+        """(vectors, labels, ids) of the query's LSH bucket."""
+        ids = [i for i in self._index.query(query) if i in self._items]
+        if not ids:
+            return np.zeros((0, query.size)), np.zeros(0, dtype=int), []
+        vectors = np.stack([self._items[i][0] for i in ids])
+        labels = np.array([self._items[i][1] for i in ids])
+        return vectors, labels, ids
+
+    def vote(
+        self,
+        query: np.ndarray,
+        k: int,
+        threshold: float,
+        min_similarity: float = -1.0,
+    ) -> tuple[KnnVote, int]:
+        """H-kNN vote over the query's candidates; returns (vote, scanned)."""
+        vectors, labels, ids = self.candidates(query)
+        center = self._mean if self._mean_count > 0 else None
+        vote = homogenized_knn(
+            query,
+            vectors,
+            labels,
+            k=k,
+            threshold=threshold,
+            center=center,
+            min_similarity=min_similarity,
+        )
+        if vote.hit:
+            # LRU touch of the entries that carried the vote's label.
+            for item_id in ids:
+                if self._items[item_id][1] == vote.label:
+                    self._items.move_to_end(item_id)
+        return vote, len(ids)
+
+
+class FoggyCache(BaselineRunner):
+    """Cross-client approximate reuse with A-LSH + H-kNN + LRU.
+
+    Args:
+        scenario: shared evaluation setting.
+        reuse_depth: relative depth (0-1) of the feature layer used for
+            matching.
+        k: kNN neighbourhood size.
+        homogeneity_threshold: H-kNN confidence needed for reuse.
+        local_capacity: per-client cache entries.
+        server_capacity: server cache entries.
+        server_rtt_ms: round-trip latency of a server lookup.
+        min_similarity: distance criterion of the homogenized vote
+            (centered cosine below this does not count as a neighbour).
+        insert_confidence: minimum full-model top-2 probability gap before
+            a computed result is cached (a quality gate on reuse entries:
+            misses skew toward hard frames, whose predicted labels would
+            otherwise poison the cache).
+        frames_per_round: frames per client per round.
+    """
+
+    name = "FoggyCache"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        reuse_depth: float = 0.45,
+        k: int = 8,
+        homogeneity_threshold: float = 0.85,
+        local_capacity: int = 400,
+        server_capacity: int = 4000,
+        server_rtt_ms: float = 9.0,
+        insert_confidence: float = 0.20,
+        min_similarity: float = 0.72,
+        frames_per_round: int = 300,
+    ) -> None:
+        super().__init__(scenario, frames_per_round)
+        model = self.model
+        self.reuse_layer = int(
+            np.clip(
+                round(reuse_depth * (model.num_cache_layers - 1)),
+                0,
+                model.num_cache_layers - 1,
+            )
+        )
+        self.k = int(k)
+        self.homogeneity_threshold = float(homogeneity_threshold)
+        self.server_rtt_ms = float(server_rtt_ms)
+        self.insert_confidence = float(insert_confidence)
+        self.min_similarity = float(min_similarity)
+        dim = model.feature_space.config.dim
+        lsh_rng = np.random.default_rng(scenario.seed + 31_337)
+        self._local = [
+            LshLruCache(local_capacity, dim, lsh_rng)
+            for _ in range(scenario.num_clients)
+        ]
+        self._server = LshLruCache(server_capacity, dim, lsh_rng)
+        self._pending_uploads: list[list[tuple[np.ndarray, int]]] = [
+            [] for _ in range(scenario.num_clients)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _lookup_cost_ms(self, num_candidates: int) -> float:
+        """Hash + candidate-scan cost, using the model's lookup model."""
+        profile = self.model.profile
+        return profile.lookup_base_ms + profile.lookup_per_entry_ms * num_candidates
+
+    def process(self, client_id: int, sample: SampleFeatures) -> InferenceRecord:
+        profile = self.model.profile
+        layer = self.reuse_layer
+        query = sample.vector(layer)
+        # Reaching the reuse layer costs its prefix compute.
+        latency = profile.compute_up_to_layer_ms(layer)
+
+        vote, scanned = self._local[client_id].vote(
+            query, self.k, self.homogeneity_threshold, self.min_similarity
+        )
+        latency += self._lookup_cost_ms(scanned)
+        if vote.hit:
+            return InferenceRecord(
+                true_class=sample.true_class,
+                predicted_class=vote.label,
+                latency_ms=latency,
+                hit_layer=layer,
+                client_id=client_id,
+            )
+
+        # Local miss: consult the server's aggregated cache.
+        server_vote, server_scanned = self._server.vote(
+            query, self.k, self.homogeneity_threshold, self.min_similarity
+        )
+        latency += self.server_rtt_ms + self._lookup_cost_ms(server_scanned)
+        if server_vote.hit:
+            self._local[client_id].insert(query, server_vote.label)
+            return InferenceRecord(
+                true_class=sample.true_class,
+                predicted_class=server_vote.label,
+                latency_ms=latency,
+                hit_layer=layer,
+                client_id=client_id,
+            )
+
+        # Full miss: run the rest of the model; cache confident results.
+        predicted, probs = self.model.classify(sample)
+        latency += profile.total_compute_ms - profile.compute_up_to_layer_ms(layer)
+        top2 = np.partition(probs, -2)[-2:]
+        if float(abs(top2[1] - top2[0])) > self.insert_confidence:
+            self._local[client_id].insert(query, predicted)
+            self._pending_uploads[client_id].append((query.copy(), predicted))
+        return InferenceRecord(
+            true_class=sample.true_class,
+            predicted_class=predicted,
+            latency_ms=latency,
+            hit_layer=None,
+            client_id=client_id,
+        )
+
+    def on_client_round_end(self, client_id: int, round_index: int) -> None:
+        """Push this round's new entries to the server cache."""
+        for vector, label in self._pending_uploads[client_id]:
+            self._server.insert(vector, label)
+        self._pending_uploads[client_id].clear()

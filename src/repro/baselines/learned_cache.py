@@ -1,0 +1,133 @@
+"""LearnedCache baseline (Balasubramanian et al., 2021).
+
+LearnedCache inserts multiple *early exits* into the model; at each exit a
+small learned head predicts the class and a confidence, and inference
+terminates early when the head is confident.  The heads are retrained
+frequently to track the stream distribution, which costs compute on the
+device — the overhead the CoCa paper criticizes — and rare (long-tail)
+classes never accumulate enough recent samples for effective retraining,
+so their head predictions stay noisy.
+
+Simulation mapping:
+
+* exit heads sit at evenly spaced eligible cache layers; a head classifies
+  from the layer's semantic vector against the ideal centroids, with extra
+  Gaussian logit noise inversely proportional to sqrt(recent class
+  frequency) — small heads are noisier than the full classifier, and
+  noisier still for classes with little retraining data;
+* an exit fires when the head's top-2 cosine-margin exceeds
+  ``exit_margin``;
+* every frame is charged ``head_cost_ms`` per evaluated exit (the head is
+  a small FC layer — comparable to a cache lookup) plus an amortized
+  ``retrain_ms_per_frame`` for the periodic on-device retraining.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineRunner
+from repro.experiments.scenario import Scenario
+from repro.models.feature import SampleFeatures
+from repro.sim.metrics import InferenceRecord
+
+
+class LearnedCache(BaselineRunner):
+    """Multi-exit inference with learned per-exit predictors.
+
+    Args:
+        scenario: shared evaluation setting.
+        num_exits: number of early-exit heads.
+        exit_margin: top-2 cosine-margin needed to exit early.
+        head_noise: base logit-noise scale of an exit head.
+        head_cost_ms: per-exit evaluation cost.
+        retrain_ms_per_frame: amortized on-device retraining cost.
+        frames_per_round: frames per client per round.
+    """
+
+    name = "LearnedCache"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        num_exits: int = 6,
+        exit_margin: float = 0.055,
+        head_noise: float = 0.035,
+        head_cost_ms: float = 0.55,
+        retrain_ms_per_frame: float = 0.85,
+        frames_per_round: int = 300,
+    ) -> None:
+        super().__init__(scenario, frames_per_round)
+        if num_exits < 1:
+            raise ValueError(f"num_exits must be >= 1, got {num_exits}")
+        model = self.model
+        num_layers = model.num_cache_layers
+        # Exits skip the first quarter of the network (too undiscriminative
+        # for a small head) and spread evenly over the remainder.
+        start = max(1, num_layers // 4)
+        count = min(num_exits, num_layers - start)
+        self.exit_layers = sorted(
+            {int(round(x)) for x in np.linspace(start, num_layers - 1, count)}
+        )
+        self.exit_margin = float(exit_margin)
+        self.head_noise = float(head_noise)
+        self.head_cost_ms = float(head_cost_ms)
+        self.retrain_ms_per_frame = float(retrain_ms_per_frame)
+        self._centroids = {j: model.ideal_centroids(j) for j in self.exit_layers}
+        # Recent class frequencies per client drive the long-tail noise
+        # penalty (few recent samples => poorly retrained head).
+        self._recent_freq = np.full(
+            (scenario.num_clients, model.num_classes), 1.0 / model.num_classes
+        )
+        self._round_counts = np.zeros_like(self._recent_freq)
+        self._noise_rng = np.random.default_rng(scenario.seed + 77_001)
+
+    def _head_prediction(
+        self, client_id: int, layer: int, sample: SampleFeatures
+    ) -> tuple[int, float]:
+        """Exit-head output: (predicted class, top-2 margin)."""
+        sims = self._centroids[layer] @ sample.vector(layer)
+        freq = self._recent_freq[client_id]
+        noise_scale = self.head_noise / np.sqrt(
+            np.maximum(freq * self.model.num_classes, 0.05)
+        )
+        noisy = sims + noise_scale * self._noise_rng.standard_normal(sims.size)
+        order = np.argsort(noisy)
+        margin = float(noisy[order[-1]] - noisy[order[-2]])
+        return int(order[-1]), margin
+
+    def process(self, client_id: int, sample: SampleFeatures) -> InferenceRecord:
+        profile = self.model.profile
+        latency = self.retrain_ms_per_frame
+        for layer in self.exit_layers:
+            latency += self.head_cost_ms
+            predicted, margin = self._head_prediction(client_id, layer, sample)
+            if margin > self.exit_margin:
+                self._round_counts[client_id, predicted] += 1
+                return InferenceRecord(
+                    true_class=sample.true_class,
+                    predicted_class=predicted,
+                    latency_ms=latency + profile.compute_up_to_layer_ms(layer),
+                    hit_layer=layer,
+                    client_id=client_id,
+                )
+        predicted, _ = self.model.classify(sample)
+        self._round_counts[client_id, predicted] += 1
+        return InferenceRecord(
+            true_class=sample.true_class,
+            predicted_class=predicted,
+            latency_ms=latency + profile.total_compute_ms,
+            hit_layer=None,
+            client_id=client_id,
+        )
+
+    def on_client_round_end(self, client_id: int, round_index: int) -> None:
+        """Retraining refreshes the head's notion of class frequencies."""
+        counts = self._round_counts[client_id]
+        total = counts.sum()
+        if total > 0:
+            blend = 0.5
+            self._recent_freq[client_id] = (
+                (1 - blend) * self._recent_freq[client_id] + blend * counts / total
+            )
+        self._round_counts[client_id] = 0.0

@@ -1,0 +1,145 @@
+"""Classical cache-replacement policies for the ACA comparison (Fig. 8).
+
+The Fig. 8 experiment holds the cache *structure* fixed — a static set of
+high-benefit cache layers, each able to hold at most ``cache_size`` class
+entries — and varies only the policy deciding which classes are resident:
+
+* **LRU** — evict the class unused for longest;
+* **FIFO** — evict the class resident for longest;
+* **RAND** — evict a uniformly random class;
+* **ACA** (run via :class:`repro.core.framework.CoCaFramework` with the
+  same total memory) — the paper's allocation algorithm.
+
+On a miss, the full model runs and the predicted class's centroids are
+installed at every active layer (one eviction if full).  Entry vectors
+come from the server-deployed global table, as in the other methods.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.baselines.base import BaselineRunner
+from repro.core.cache import SemanticCache
+from repro.core.engine import CachedInferenceEngine
+from repro.experiments.scenario import Scenario
+from repro.models.feature import SampleFeatures
+from repro.sim.metrics import InferenceRecord
+
+POLICIES = ("lru", "fifo", "rand")
+
+
+class ReplacementPolicyCache(BaselineRunner):
+    """Fixed-layer semantic cache managed by a classical policy.
+
+    Args:
+        scenario: shared evaluation setting.
+        policy: one of ``"lru"``, ``"fifo"``, ``"rand"``.
+        cache_size: maximum resident classes (entries per layer).
+        theta: Eq. 2 hit threshold.
+        alpha: Eq. 1 decay.
+        num_layers_active: static active-layer count.
+        min_relative_depth: shallowest activated depth (0-1).
+        frames_per_round: frames per client per round.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        policy: str = "lru",
+        cache_size: int = 30,
+        theta: float = 0.04,
+        alpha: float = 0.5,
+        num_layers_active: int = 6,
+        min_relative_depth: float = 0.25,
+        frames_per_round: int = 300,
+    ) -> None:
+        super().__init__(scenario, frames_per_round)
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if cache_size < 2:
+            raise ValueError(f"cache_size must be >= 2, got {cache_size}")
+        self.name = policy.upper()
+        self.policy = policy
+        self.cache_size = int(cache_size)
+        model = self.model
+        L = model.num_cache_layers
+        start = int(np.clip(round(min_relative_depth * (L - 1)), 0, L - 1))
+        count = min(num_layers_active, L - start)
+        self.active_layers = sorted(
+            {int(round(x)) for x in np.linspace(start, L - 1, count)}
+        )
+        self.theta = float(theta)
+        self.alpha = float(alpha)
+        self._centroids = {j: model.ideal_centroids(j) for j in self.active_layers}
+        self._rand_rng = np.random.default_rng(scenario.seed + 404)
+
+        # Per-client residency: class id -> insertion order (OrderedDict
+        # gives both FIFO order and, via move_to_end, LRU order).
+        self._resident: list[OrderedDict[int, None]] = []
+        self._engines: list[CachedInferenceEngine] = []
+        for k in range(scenario.num_clients):
+            resident: OrderedDict[int, None] = OrderedDict()
+            # Warm start: the first `cache_size` classes by client prior.
+            order = np.argsort(-scenario.distributions[k])
+            for class_id in order[: self.cache_size]:
+                resident[int(class_id)] = None
+            self._resident.append(resident)
+            engine = CachedInferenceEngine(model, cache=None)
+            self._engines.append(engine)
+            self._rebuild(k)
+
+    # ------------------------------------------------------------------
+
+    def _rebuild(self, client_id: int) -> None:
+        resident = list(self._resident[client_id])
+        cache = SemanticCache(
+            self.model.num_classes, alpha=self.alpha, theta=self.theta
+        )
+        ids = np.array(resident, dtype=int)
+        for layer in self.active_layers:
+            cache.set_layer_entries(layer, ids, self._centroids[layer][ids])
+        self._engines[client_id].set_cache(cache)
+
+    def _evict_one(self, client_id: int) -> None:
+        resident = self._resident[client_id]
+        if self.policy == "rand":
+            victim = list(resident)[int(self._rand_rng.integers(len(resident)))]
+            del resident[victim]
+        else:
+            # LRU keeps recency order via move_to_end; FIFO never reorders,
+            # so popping the front implements both.
+            resident.popitem(last=False)
+
+    def process(self, client_id: int, sample: SampleFeatures) -> InferenceRecord:
+        outcome = self._engines[client_id].infer(sample)
+        predicted = outcome.predicted_class
+        resident = self._resident[client_id]
+
+        if outcome.hit_layer is not None:
+            if self.policy == "lru" and predicted in resident:
+                resident.move_to_end(predicted)
+        elif predicted not in resident:
+            # Miss on a non-resident class: install it (policy eviction).
+            while len(resident) >= self.cache_size:
+                self._evict_one(client_id)
+            resident[predicted] = None
+            self._rebuild(client_id)
+        elif self.policy == "lru":
+            resident.move_to_end(predicted)
+
+        return InferenceRecord(
+            true_class=sample.true_class,
+            predicted_class=predicted,
+            latency_ms=outcome.latency_ms,
+            hit_layer=outcome.hit_layer,
+            client_id=client_id,
+        )
+
+    def memory_bytes(self) -> int:
+        """Total cache memory of one client (for budget-matched ACA runs)."""
+        return self.cache_size * sum(
+            self.model.profile.entry_size_bytes(j) for j in self.active_layers
+        )

@@ -1,0 +1,150 @@
+"""SMTM baseline (Li et al., MM'21), extended to multiple clients.
+
+SMTM is the single-client semantic-caching system CoCa builds on: class
+centroids of pooled intermediate features are cached at preset layers and
+matched by cumulative cosine similarity — the same Eq. 1/2 machinery as
+CoCa.  The differences, which are exactly CoCa's contributions, are:
+
+* **no collaboration** — each client adapts its cache from its own stream
+  only; there are no global updates, so non-IID feature drift is never
+  shared (a client must rediscover everything itself);
+* **fixed cache layers** — SMTM profiles the model offline and activates
+  a static set of layers; only the *classes* in the cache adapt;
+* **local class scoring** — hot-spot classes are chosen by the client's
+  own frequency/recency statistics (the scheme CoCa generalizes in
+  Eq. 10), with the same 95% score-mass rule.
+
+Cache entries start from the server-deployed initial centroids (shared
+dataset) and adapt locally with an EMA of confidently-hit samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineRunner
+from repro.core.allocation import select_hotspot_classes
+from repro.core.cache import SemanticCache
+from repro.core.engine import CachedInferenceEngine
+from repro.experiments.scenario import Scenario
+from repro.models.feature import SampleFeatures
+from repro.sim.metrics import InferenceRecord
+
+
+class SMTM(BaselineRunner):
+    """Per-client semantic cache with fixed layers and local adaptation.
+
+    Args:
+        scenario: shared evaluation setting.
+        theta: Eq. 2 hit threshold.
+        alpha: Eq. 1 cross-layer decay.
+        num_layers_active: number of (evenly spaced) active cache layers.
+        min_relative_depth: shallowest activated depth (0-1); SMTM's
+            offline profiling avoids the undiscriminative early layers.
+        hotspot_mass: score-mass rule for hot-spot classes (0.95).
+        recency_base: recency discount base per stale round.
+        ema: adaptation rate of cache entries toward confident hits.
+        reinforce_margin: hit score needed before a sample adapts entries.
+        frames_per_round: frames per client per round (cache refresh
+            cadence).
+    """
+
+    name = "SMTM"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        theta: float = 0.04,
+        alpha: float = 0.5,
+        num_layers_active: int = 6,
+        min_relative_depth: float = 0.25,
+        hotspot_mass: float = 0.95,
+        recency_base: float = 0.20,
+        ema: float = 0.05,
+        reinforce_margin: float = 0.10,
+        frames_per_round: int = 300,
+    ) -> None:
+        super().__init__(scenario, frames_per_round)
+        model = self.model
+        L = model.num_cache_layers
+        start = int(np.clip(round(min_relative_depth * (L - 1)), 0, L - 1))
+        count = min(num_layers_active, L - start)
+        self.active_layers = sorted(
+            {int(round(x)) for x in np.linspace(start, L - 1, count)}
+        )
+        self.theta = float(theta)
+        self.alpha = float(alpha)
+        self.hotspot_mass = float(hotspot_mass)
+        self.recency_base = float(recency_base)
+        self.ema = float(ema)
+        self.reinforce_margin = float(reinforce_margin)
+
+        num_classes = model.num_classes
+        # Per-client adapted centroids (start = server-deployed ideals).
+        self._centroids = {
+            j: np.stack(
+                [model.ideal_centroids(j) for _ in range(scenario.num_clients)]
+            )
+            for j in self.active_layers
+        }
+        self._freq = np.zeros((scenario.num_clients, num_classes))
+        self._tau = np.zeros((scenario.num_clients, num_classes))
+        self._engines: list[CachedInferenceEngine] = []
+        for k in range(scenario.num_clients):
+            engine = CachedInferenceEngine(model, cache=None)
+            self._engines.append(engine)
+            self._refresh_cache(k)
+
+    # ------------------------------------------------------------------
+
+    def _local_scores(self, client_id: int) -> np.ndarray:
+        staleness = np.floor(self._tau[client_id] / self.frames_per_round)
+        freq = self._freq[client_id] + 1.0  # +1 prior: cold start caches all
+        return freq * np.power(self.recency_base, staleness)
+
+    def _refresh_cache(self, client_id: int) -> None:
+        """Rebuild the client's cache from its local hot-spot classes."""
+        hotspot = select_hotspot_classes(
+            self._local_scores(client_id), self.hotspot_mass
+        )
+        cache = SemanticCache(
+            self.model.num_classes, alpha=self.alpha, theta=self.theta
+        )
+        for layer in self.active_layers:
+            cache.set_layer_entries(
+                layer, hotspot, self._centroids[layer][client_id, hotspot]
+            )
+        self._engines[client_id].set_cache(cache)
+
+    def process(self, client_id: int, sample: SampleFeatures) -> InferenceRecord:
+        outcome = self._engines[client_id].infer(sample)
+        predicted = outcome.predicted_class
+        self._tau[client_id] += 1.0
+        self._tau[client_id, predicted] = 0.0
+        self._freq[client_id, predicted] += 1.0
+
+        # Local adaptation: confident hits pull their entries toward the
+        # sample (SMTM's online centroid update), up to the hit layer.
+        if (
+            outcome.hit_layer is not None
+            and outcome.hit_score is not None
+            and outcome.hit_score > self.reinforce_margin
+        ):
+            for probe in outcome.probes:
+                layer = probe.layer
+                current = self._centroids[layer][client_id, predicted]
+                updated = (1 - self.ema) * current + self.ema * sample.vector(layer)
+                norm = np.linalg.norm(updated)
+                if norm > 0:
+                    self._centroids[layer][client_id, predicted] = updated / norm
+
+        return InferenceRecord(
+            true_class=sample.true_class,
+            predicted_class=predicted,
+            latency_ms=outcome.latency_ms,
+            hit_layer=outcome.hit_layer,
+            client_id=client_id,
+        )
+
+    def on_client_round_end(self, client_id: int, round_index: int) -> None:
+        self._refresh_cache(client_id)

@@ -1,0 +1,151 @@
+"""Command-line interface for running CoCa scenarios.
+
+Usage::
+
+    python -m repro info
+    python -m repro compare --dataset ucf101 --classes 50 --model resnet101 \
+        --clients 4 --non-iid 1 --rounds 3 --methods edge,coca,smtm
+    python -m repro sweep-theta --dataset ucf101 --classes 50 \
+        --model resnet101 --thetas 0.03,0.05,0.07
+
+All runs are fully offline and deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import CoCaRunner, EdgeOnly, FoggyCache, LearnedCache, SMTM
+from repro.core.config import CoCaConfig
+from repro.data.datasets import get_dataset
+from repro.experiments.scenario import Scenario
+from repro.experiments.slo import fresh_scenario
+from repro.models.zoo import available_models
+
+METHOD_NAMES = {
+    "edge": "Edge-Only",
+    "learnedcache": "LearnedCache",
+    "foggycache": "FoggyCache",
+    "smtm": "SMTM",
+    "coca": "CoCa",
+}
+
+
+def _build_scenario(args: argparse.Namespace) -> Scenario:
+    dataset = get_dataset(args.dataset, args.classes)
+    return Scenario(
+        dataset=dataset,
+        model_name=args.model,
+        num_clients=args.clients,
+        non_iid_level=args.non_iid,
+        longtail_rho=args.longtail,
+        seed=args.seed,
+    )
+
+
+def _build_runner(key: str, scenario: Scenario, theta: float):
+    if key == "edge":
+        return EdgeOnly(scenario)
+    if key == "learnedcache":
+        return LearnedCache(scenario)
+    if key == "foggycache":
+        return FoggyCache(scenario)
+    if key == "smtm":
+        return SMTM(scenario, theta=theta)
+    if key == "coca":
+        return CoCaRunner(scenario, config=CoCaConfig(theta=theta))
+    raise KeyError(key)
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    print("models:   " + ", ".join(available_models()))
+    print("datasets: ucf101 (101 cls), imagenet100 (100 cls), esc50 (50 cls)")
+    print("methods:  " + ", ".join(sorted(METHOD_NAMES)))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    keys = [k.strip().lower() for k in args.methods.split(",") if k.strip()]
+    unknown = [k for k in keys if k not in METHOD_NAMES]
+    if unknown:
+        print(f"unknown methods: {unknown}; see `python -m repro info`",
+              file=sys.stderr)
+        return 2
+    print(
+        f"{scenario.model_name} on {scenario.dataset.name}, "
+        f"{scenario.num_clients} clients, p={scenario.non_iid_level:g}, "
+        f"rho={scenario.longtail_rho:g}, seed={scenario.seed}\n"
+    )
+    print(f"{'method':14s}{'latency':>10s}{'accuracy':>10s}{'hit ratio':>11s}")
+    for key in keys:
+        runner = _build_runner(key, fresh_scenario(scenario), args.theta)
+        summary = runner.run(args.rounds, warmup_rounds=args.warmup).summary()
+        hit = f"{100 * summary.hit_ratio:9.1f}%" if summary.hit_ratio else "        —"
+        print(
+            f"{METHOD_NAMES[key]:14s}{summary.avg_latency_ms:9.2f}ms"
+            f"{100 * summary.accuracy:9.1f}%{hit:>11s}"
+        )
+    return 0
+
+
+def cmd_sweep_theta(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    thetas = [float(t) for t in args.thetas.split(",") if t.strip()]
+    print(f"{'theta':>7s}{'latency':>10s}{'accuracy':>10s}{'hit ratio':>11s}")
+    for theta in thetas:
+        runner = CoCaRunner(fresh_scenario(scenario), config=CoCaConfig(theta=theta))
+        summary = runner.run(args.rounds, warmup_rounds=args.warmup).summary()
+        print(
+            f"{theta:7.3f}{summary.avg_latency_ms:9.2f}ms"
+            f"{100 * summary.accuracy:9.1f}%{100 * summary.hit_ratio:10.1f}%"
+        )
+    return 0
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="ucf101")
+    parser.add_argument("--classes", type=int, default=None,
+                        help="subset size (default: full dataset)")
+    parser.add_argument("--model", default="resnet101",
+                        choices=available_models())
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--non-iid", dest="non_iid", type=float, default=1.0)
+    parser.add_argument("--longtail", type=float, default=1.0,
+                        help="imbalance ratio rho (1 = uniform)")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--theta", type=float, default=0.05)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CoCa reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="list models, datasets and methods")
+    info.set_defaults(func=cmd_info)
+
+    compare = sub.add_parser("compare", help="run methods head-to-head")
+    _add_scenario_args(compare)
+    compare.add_argument("--methods", default="edge,coca",
+                         help="comma-separated (see `info`)")
+    compare.set_defaults(func=cmd_compare)
+
+    sweep = sub.add_parser("sweep-theta", help="CoCa threshold sweep")
+    _add_scenario_args(sweep)
+    sweep.add_argument("--thetas", default="0.03,0.05,0.07")
+    sweep.set_defaults(func=cmd_sweep_theta)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,266 @@
+"""The Adaptive Cache Allocation (ACA) algorithm — Algorithm 1.
+
+ACA allocates cache entries for one client in two stages:
+
+1. **Hot-spot class selection** — every class gets a score combining its
+   global frequency with the client's recency (Eq. 10):
+
+       s[i] = Phi[i] * recency_base ** floor(tau[i] / F)
+
+   Classes are taken in descending score order until their cumulative
+   score reaches ``hotspot_mass`` (0.95) of the total.
+
+2. **Greedy layer selection** — each cache layer's expected benefit
+   combines its expected hit ratio ``R[j]`` with the compute time saved
+   by a hit there, ``Upsilon[j]``; ACA repeatedly adds the layer with the
+   largest remaining benefit under the hypothesis that a sample hitting
+   at layer ``b`` would also hit at any later layer (Alg. 1 lines 11-21),
+   stopping just before the allocated size would exceed the budget Pi.
+
+   We implement the *expected-latency* reading of that greedy: the
+   standalone hit-ratio curve ``R`` (monotone in depth) induces a
+   distribution over each sample's shallowest hittable layer, a sample
+   exits at its first *activated* hittable layer, and each step adds the
+   affordable layer that lowers the expected inference time (compute +
+   lookups) the most.  When layers happen to be picked in depth order
+   this coincides exactly with the paper's ``R[j] -= R[b]`` discount
+   rule; unlike the literal rule it does not double-discount deep
+   backstop layers when a shallower layer is picked after a deeper one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Output of ACA for one client.
+
+    Attributes:
+        layer_classes: mapping of selected cache layer -> class ids to
+            fill it with (the indicator matrix X in sparse form).
+        hotspot_classes: the stage-1 hot-spot class set, in score order.
+        size_bytes: total size of the allocated entries.
+        scores: the Eq. 10 class scores (diagnostics).
+    """
+
+    layer_classes: dict[int, np.ndarray]
+    hotspot_classes: np.ndarray
+    size_bytes: int
+    scores: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def selected_layers(self) -> list[int]:
+        return sorted(self.layer_classes)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(ids.size for ids in self.layer_classes.values())
+
+
+def class_scores(
+    global_freq: np.ndarray,
+    timestamps: np.ndarray,
+    frames_per_round: int,
+    recency_base: float = 0.20,
+    local_freq: np.ndarray | None = None,
+    local_weight: float = 0.5,
+) -> np.ndarray:
+    """Eq. 10 hot-spot scores: frequency discounted by staleness.
+
+    The frequency term blends the *global* class frequencies Phi with the
+    requesting client's own recent distribution (the "current data class
+    distribution" each client uploads at round start, Sec. IV-A/IV-B).
+    Both are normalized before mixing so a class that dominates one
+    client's stream stays cacheable even when globally rare — exactly the
+    non-IID situation the personalized allocation exists for.
+    """
+    phi = np.asarray(global_freq, dtype=float)
+    tau = np.asarray(timestamps, dtype=float)
+    if phi.shape != tau.shape:
+        raise ValueError(f"shape mismatch: freq {phi.shape}, tau {tau.shape}")
+    if frames_per_round < 1:
+        raise ValueError(f"frames_per_round must be >= 1, got {frames_per_round}")
+    if not 0.0 < recency_base < 1.0:
+        raise ValueError(f"recency_base must be in (0, 1), got {recency_base}")
+    if not 0.0 <= local_weight <= 1.0:
+        raise ValueError(f"local_weight must be in [0, 1], got {local_weight}")
+
+    total = phi.sum()
+    frequency = phi / total if total > 0 else phi
+    if local_freq is not None:
+        local = np.asarray(local_freq, dtype=float)
+        if local.shape != phi.shape:
+            raise ValueError(
+                f"shape mismatch: local freq {local.shape}, global {phi.shape}"
+            )
+        local_total = local.sum()
+        if local_total > 0:
+            frequency = (
+                1.0 - local_weight
+            ) * frequency + local_weight * local / local_total
+    staleness = np.floor(tau / frames_per_round)
+    return frequency * np.power(recency_base, staleness)
+
+
+def select_hotspot_classes(scores: np.ndarray, mass: float = 0.95) -> np.ndarray:
+    """Stage 1: smallest score-ordered prefix covering ``mass`` of the total.
+
+    With an all-zero score vector (cold start, nothing observed) every
+    class is equally likely, so all classes are returned.
+    """
+    s = np.asarray(scores, dtype=float)
+    if np.any(s < 0):
+        raise ValueError("scores must be non-negative")
+    if not 0.0 < mass <= 1.0:
+        raise ValueError(f"mass must be in (0, 1], got {mass}")
+    total = s.sum()
+    if total <= 0:
+        return np.arange(s.size)
+    order = np.argsort(-s, kind="stable")
+    cumulative = np.cumsum(s[order])
+    cutoff = int(np.searchsorted(cumulative, mass * total, side="left"))
+    return order[: cutoff + 1]
+
+
+def aca_allocate(
+    global_freq: np.ndarray,
+    timestamps: np.ndarray,
+    hit_ratio: np.ndarray,
+    saved_time_ms: np.ndarray,
+    entry_sizes_bytes: np.ndarray,
+    budget_bytes: int,
+    frames_per_round: int,
+    hotspot_mass: float = 0.95,
+    recency_base: float = 0.20,
+    available_classes: np.ndarray | None = None,
+    allowed_layers: np.ndarray | None = None,
+    local_freq: np.ndarray | None = None,
+    local_weight: float = 0.5,
+) -> AllocationResult:
+    """Run Algorithm 1 for one client.
+
+    Args:
+        global_freq: Phi, global per-class frequencies (server state).
+        timestamps: tau^k, the client's per-class staleness vector.
+        hit_ratio: R^k, expected marginal hit ratio per cache layer.
+        saved_time_ms: Upsilon, compute time saved by a hit at each layer.
+        entry_sizes_bytes: per-layer size of one cache entry (m[., j]).
+        budget_bytes: the client's cache-size threshold Pi.
+        frames_per_round: F, used by the recency discount.
+        hotspot_mass: stage-1 cumulative score fraction (paper: 0.95).
+        recency_base: Eq. 10 discount base (paper: 0.20).
+        available_classes: optional boolean matrix (num_classes, num_layers)
+            marking which global-cache entries exist; missing entries are
+            skipped when filling a layer.
+        allowed_layers: optional subset of layer indices allocation may
+            use; layers outside it are excluded up front.  This is how the
+            server enforces the accuracy-loss constraint G <= Omega
+            (layers whose early exits are too inaccurate are ineligible).
+        local_freq: the client's own recent class distribution (uploaded
+            with its status); blended into the Eq. 10 frequency term.
+        local_weight: blend weight of the local distribution.
+
+    Returns:
+        An :class:`AllocationResult`; ``layer_classes`` may be empty when
+        even one layer of hot-spot entries exceeds the budget.
+    """
+    R = np.asarray(hit_ratio, dtype=float).copy()
+    upsilon = np.asarray(saved_time_ms, dtype=float)
+    sizes = np.asarray(entry_sizes_bytes, dtype=float)
+    num_layers = R.size
+    if upsilon.shape != (num_layers,) or sizes.shape != (num_layers,):
+        raise ValueError("hit_ratio, saved_time_ms, entry_sizes_bytes lengths differ")
+    if budget_bytes <= 0:
+        raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+
+    scores = class_scores(
+        global_freq,
+        timestamps,
+        frames_per_round,
+        recency_base,
+        local_freq=local_freq,
+        local_weight=local_weight,
+    )
+    hotspot = select_hotspot_classes(scores, hotspot_mass)
+
+    layer_classes: dict[int, np.ndarray] = {}
+    if allowed_layers is None:
+        remaining = set(range(num_layers))
+    else:
+        remaining = {int(j) for j in allowed_layers}
+        if not remaining.issubset(range(num_layers)):
+            raise ValueError("allowed_layers contains out-of-range indices")
+    used_bytes = 0
+
+    # Hits propagate deeper, so the standalone curve must be monotone;
+    # measurement noise is smoothed out by a running maximum.
+    R_monotone = np.maximum.accumulate(np.clip(R, 0.0, 1.0))
+    # Compute-cost prefix: executing blocks 0..j (saved_time[j] is the
+    # compute skipped by exiting at j, so prefix = total - saved).
+    total_compute = float(upsilon.max()) if upsilon.size else 0.0
+    # Upsilon[0] is the largest saving; the true total compute also
+    # includes the blocks before layer 0, but constants cancel in the
+    # greedy comparison, so prefix_cost[j] = -upsilon[j] works up to a
+    # shared offset.
+    prefix_cost = -upsilon
+
+    def fill_for(layer: int) -> np.ndarray:
+        if available_classes is not None:
+            return hotspot[available_classes[hotspot, layer]]
+        return hotspot
+
+    def lookup_cost(layer: int, num_entries: int) -> float:
+        # Affine cost surrogate matching LatencyProfile.lookup_cost_ms'
+        # structure; entry counts dominate, the base constant is shared.
+        return 0.28 + 0.0078 * num_entries
+
+    def expected_cost(picked: list[int]) -> float:
+        """Expected per-inference cost (up to a constant) for a layer set."""
+        if not picked:
+            return total_compute  # full execution for everyone (offset-free)
+        ordered = sorted(picked)
+        cost = 0.0
+        lookups_so_far = 0.0
+        prev_mass = 0.0
+        for layer in ordered:
+            lookups_so_far += lookup_cost(layer, fill_for(layer).size)
+            mass = R_monotone[layer] - prev_mass
+            prev_mass = R_monotone[layer]
+            cost += mass * (total_compute + prefix_cost[layer] + lookups_so_far)
+        cost += (1.0 - prev_mass) * (total_compute + lookups_so_far)
+        return cost
+
+    current_cost = expected_cost([])
+    while remaining:
+        best_layer = None
+        best_cost = current_cost
+        best_added = 0
+        for j in sorted(remaining):
+            fill = fill_for(j)
+            if fill.size == 0:
+                continue
+            added = int(sizes[j]) * int(fill.size)
+            if used_bytes + added > budget_bytes:
+                continue
+            candidate_cost = expected_cost(list(layer_classes) + [j])
+            if candidate_cost < best_cost - 1e-12:
+                best_cost = candidate_cost
+                best_layer = j
+                best_added = added
+        if best_layer is None:
+            break
+        layer_classes[best_layer] = fill_for(best_layer).copy()
+        used_bytes += best_added
+        current_cost = best_cost
+        remaining.discard(best_layer)
+
+    return AllocationResult(
+        layer_classes=layer_classes,
+        hotspot_classes=hotspot,
+        size_bytes=used_bytes,
+        scores=scores,
+    )

@@ -1,0 +1,230 @@
+"""The class-based semantic cache (Sec. II-3).
+
+A :class:`SemanticCache` holds, per activated cache layer, one unit-norm
+semantic centroid per hot-spot class.  During inference a
+:class:`LookupSession` walks the activated layers in order, accumulating
+per-class cosine similarities:
+
+    A[i, j] = C[i, j] + alpha * A[i, j-1]                       (Eq. 1)
+
+where ``C[i, j]`` is the cosine similarity between the sample's layer-``j``
+semantic vector and class ``i``'s cached centroid, and ``j-1`` is the
+*previously probed* layer.  The layer's discriminative score compares the
+two best classes ``a`` and ``b``:
+
+    D[j] = (A[a, j] - A[b, j]) / A[b, j]                        (Eq. 2)
+
+The cache hits when ``D[j]`` exceeds the threshold theta; inference then
+terminates early returning class ``a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class LayerProbe:
+    """Outcome of probing one cache layer during an inference.
+
+    Attributes:
+        layer: index of the probed cache layer.
+        top_class: class with the highest accumulated similarity.
+        second_class: runner-up class (or ``-1`` with a single entry).
+        score: discriminative score ``D`` of Eq. 2.
+        hit: whether ``score`` exceeded the session threshold.
+    """
+
+    layer: int
+    top_class: int
+    second_class: int
+    score: float
+    hit: bool
+
+
+class SemanticCache:
+    """Per-layer class centroids plus the Eq. 1/2 lookup machinery.
+
+    Args:
+        num_classes: size of the class universe (row space of the global
+            cache table this cache was extracted from).
+        alpha: Eq. 1 decay for previous-layer accumulated similarity.
+        theta: Eq. 2 discriminative-score hit threshold.
+    """
+
+    def __init__(self, num_classes: int, alpha: float = 0.5, theta: float = 0.05) -> None:
+        if num_classes < 1:
+            raise ValueError(f"num_classes must be >= 1, got {num_classes}")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        if theta < 0:
+            raise ValueError(f"theta must be >= 0, got {theta}")
+        self.num_classes = num_classes
+        self.alpha = alpha
+        self.theta = theta
+        self._layers: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # Optional per-layer absolute similarity floors: a hit additionally
+        # requires the top entry's *current-layer* cosine to reach the
+        # floor.  The relative score D alone cannot reject a sample of an
+        # uncached class whose nearest cached entry happens to be isolated
+        # (large relative gap at modest absolute similarity); the floor —
+        # calibrated by the server from true-hit similarities on the
+        # shared dataset — closes exactly that hole.
+        self._similarity_floor: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Content management
+    # ------------------------------------------------------------------
+
+    def set_layer_entries(
+        self, layer: int, class_ids: np.ndarray, centroids: np.ndarray
+    ) -> None:
+        """Install the entries of one cache layer (replacing any previous).
+
+        Args:
+            layer: cache-layer index.
+            class_ids: integer array of shape ``(n,)``.
+            centroids: float array of shape ``(n, d)``; rows are normalized
+                to unit L2 norm on insertion.
+        """
+        ids = np.asarray(class_ids, dtype=int)
+        mat = np.asarray(centroids, dtype=float)
+        if ids.ndim != 1 or mat.ndim != 2 or ids.shape[0] != mat.shape[0]:
+            raise ValueError(
+                f"shape mismatch: ids {ids.shape}, centroids {mat.shape}"
+            )
+        if ids.size == 0:
+            self._layers.pop(layer, None)
+            return
+        if np.unique(ids).size != ids.size:
+            raise ValueError("duplicate class ids in one cache layer")
+        if np.any(ids < 0) or np.any(ids >= self.num_classes):
+            raise ValueError("class id out of range")
+        norms = np.linalg.norm(mat, axis=1, keepdims=True)
+        if np.any(norms < _EPS):
+            raise ValueError("cannot cache a zero centroid")
+        self._layers[layer] = (ids.copy(), mat / norms)
+
+    def set_similarity_floor(self, layer: int, floor: float) -> None:
+        """Require a minimum top-entry cosine at ``layer`` for a hit."""
+        if not -1.0 <= floor <= 1.0:
+            raise ValueError(f"floor must be a cosine in [-1, 1], got {floor}")
+        self._similarity_floor[layer] = float(floor)
+
+    def similarity_floor(self, layer: int) -> float:
+        """The hit floor at a layer (-1 when none is set)."""
+        return self._similarity_floor.get(layer, -1.0)
+
+    def clear(self) -> None:
+        self._layers.clear()
+        self._similarity_floor.clear()
+
+    @property
+    def active_layers(self) -> list[int]:
+        """Activated cache-layer indices in lookup (ascending) order."""
+        return sorted(self._layers)
+
+    def num_entries(self, layer: int) -> int:
+        if layer not in self._layers:
+            return 0
+        return int(self._layers[layer][0].size)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(ids.size for ids, _ in self._layers.values())
+
+    def entries_at(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """(class ids, centroid matrix) of one layer (copies)."""
+        if layer not in self._layers:
+            raise KeyError(f"cache layer {layer} is not activated")
+        ids, mat = self._layers[layer]
+        return ids.copy(), mat.copy()
+
+    def classes_at(self, layer: int) -> set[int]:
+        if layer not in self._layers:
+            return set()
+        return set(int(i) for i in self._layers[layer][0])
+
+    def size_bytes(self, entry_size_of_layer) -> int:
+        """Total memory under a per-layer entry-size function (Eq. 6)."""
+        return sum(
+            ids.size * int(entry_size_of_layer(layer))
+            for layer, (ids, _) in self._layers.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def start_session(self) -> "LookupSession":
+        """Begin the per-inference sequential lookup."""
+        return LookupSession(self)
+
+    def __repr__(self) -> str:
+        layers = {j: self.num_entries(j) for j in self.active_layers}
+        return f"SemanticCache(theta={self.theta}, layers={layers})"
+
+
+class LookupSession:
+    """Accumulates Eq. 1 scores across the activated layers of one inference.
+
+    Probe layers in ascending order via :meth:`probe`; the session keeps the
+    per-class accumulated similarity ``A`` between calls.
+    """
+
+    def __init__(self, cache: SemanticCache) -> None:
+        self._cache = cache
+        self._accumulated = np.zeros(cache.num_classes)
+
+    def accumulated_score(self, class_id: int) -> float:
+        """Current ``A`` value of a class (0 before its first probe)."""
+        return float(self._accumulated[class_id])
+
+    def probe(self, layer: int, vector: np.ndarray) -> LayerProbe:
+        """Probe one activated layer with the sample's semantic vector.
+
+        Returns a :class:`LayerProbe`; ``hit`` is ``True`` when the Eq. 2
+        score exceeds the cache's theta.  A layer with fewer than two
+        entries can never hit (the discriminative score needs a runner-up).
+        """
+        ids, mat = self._cache._layers.get(layer, (None, None))
+        if ids is None:
+            raise KeyError(f"cache layer {layer} is not activated")
+        vec = np.asarray(vector, dtype=float)
+        if vec.shape != (mat.shape[1],):
+            raise ValueError(
+                f"vector shape {vec.shape} does not match centroid dim {mat.shape[1]}"
+            )
+
+        similarity = mat @ vec  # C[i, j] for cached classes
+        updated = similarity + self._cache.alpha * self._accumulated[ids]
+        self._accumulated[ids] = updated
+
+        if ids.size < 2:
+            top = int(ids[0]) if ids.size == 1 else -1
+            return LayerProbe(
+                layer=layer, top_class=top, second_class=-1, score=0.0, hit=False
+            )
+
+        order = np.argsort(updated)
+        best_idx, second_idx = order[-1], order[-2]
+        a_best = float(updated[best_idx])
+        a_second = float(updated[second_idx])
+        score = (a_best - a_second) / max(a_second, _EPS)
+        floor = self._cache.similarity_floor(layer)
+        hit = (
+            score > self._cache.theta
+            and a_best > 0
+            and float(similarity[best_idx]) >= floor
+        )
+        return LayerProbe(
+            layer=layer,
+            top_class=int(ids[best_idx]),
+            second_class=int(ids[second_idx]),
+            score=score,
+            hit=hit,
+        )

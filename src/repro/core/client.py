@@ -1,0 +1,273 @@
+"""The CoCa client: cached inference + status tracking + collection.
+
+Per Sec. IV-C, each client maintains two class-recency structures —
+
+* ``tau`` (timestamp vector): inferences since a class last appeared;
+  reset to 0 when a sample of the class appears, incremented otherwise;
+* ``phi`` (frequency vector): per-class appearance counts within the
+  current round —
+
+and a *cache update table* ``U`` collecting semantic vectors of selected
+inference samples:
+
+1. cache hits whose discriminative score exceeds Gamma (reinforcement;
+   vectors collected only up to the hit layer), and
+2. cache misses whose top-2 probability gap exceeds Delta (expansion;
+   vectors collected at every preset layer, since the full model ran).
+
+Entries update as ``U[i, j] = V[i, j] + beta * U[i, j]`` (Eq. 3) and are
+L2-normalized.  The client knows no ground-truth labels: classes are the
+*inferred* outputs, exactly as deployed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import SemanticCache
+from repro.core.config import CoCaConfig
+from repro.core.engine import CachedInferenceEngine, InferenceOutcome
+from repro.data.stream import StreamGenerator
+from repro.models.base import SimulatedModel
+from repro.sim.metrics import InferenceRecord
+
+
+@dataclass(frozen=True)
+class ClientStatus:
+    """Status information uploaded with a cache-allocation request.
+
+    Attributes:
+        client_id: identifier of the requesting client.
+        timestamps: the tau vector (staleness per class, in inferences).
+        frequencies: the client's class distribution observed in its most
+            recent round (the "current data class distribution" of
+            Sec. IV-A; zeros before the first round).
+        hit_ratio: per-cache-layer marginal hit-ratio estimate R.
+        cache_budget_bytes: the client's cache-size threshold Pi.
+    """
+
+    client_id: int
+    timestamps: np.ndarray
+    frequencies: np.ndarray
+    hit_ratio: np.ndarray
+    cache_budget_bytes: int
+
+
+@dataclass
+class RoundReport:
+    """Everything a client uploads at the end of a round.
+
+    Attributes:
+        client_id: reporting client.
+        records: per-inference outcomes of the round (for metrics).
+        update_entries: the cache update table U as a mapping
+            ``(class_id, layer) -> unit vector``.
+        frequencies: the phi vector counted over this round (by inferred
+            class).
+        absorbed_hits / absorbed_misses: number of samples collected under
+            the Gamma / Delta rules (absorption diagnostics, Fig. 6).
+        eligible_hits / eligible_misses: samples that satisfied the
+            preconditions (hit / confident miss) before thresholding.
+    """
+
+    client_id: int
+    records: list[InferenceRecord]
+    update_entries: dict[tuple[int, int], np.ndarray]
+    frequencies: np.ndarray
+    absorbed_hits: int = 0
+    absorbed_misses: int = 0
+    eligible_hits: int = 0
+    eligible_misses: int = 0
+    collected_correct: int = 0
+    collected_total: int = 0
+
+
+class CoCaClient:
+    """One edge client participating in the CoCa protocol.
+
+    Args:
+        client_id: index of the client (also selects its feature-drift
+            profile in the model substrate).
+        model: shared simulated model (deployed by the server).
+        stream: the client's frame stream.
+        config: CoCa hyper-parameters.
+        rng: per-client generator for feature sampling.
+        cache_budget_bytes: cache-size threshold Pi; defaults to
+            ``config.cache_budget_fraction`` of the full global table.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        model: SimulatedModel,
+        stream: StreamGenerator,
+        config: CoCaConfig,
+        rng: np.random.Generator,
+        cache_budget_bytes: int | None = None,
+    ) -> None:
+        self.client_id = client_id
+        self.model = model
+        self.stream = stream
+        self.config = config
+        self._rng = rng
+        num_classes = model.num_classes
+        num_layers = model.num_cache_layers
+        if cache_budget_bytes is None:
+            full_table = num_classes * sum(
+                model.profile.entry_size_bytes(j) for j in range(num_layers)
+            )
+            cache_budget_bytes = int(config.cache_budget_fraction * full_table)
+        if cache_budget_bytes <= 0:
+            raise ValueError("cache budget must be positive")
+        self.cache_budget_bytes = int(cache_budget_bytes)
+
+        self.timestamps = np.zeros(num_classes)  # tau
+        self.last_frequencies = np.zeros(num_classes)  # phi of last round
+        self.hit_ratio = np.zeros(num_layers)  # R, seeded by the server
+        self.engine = CachedInferenceEngine(model, cache=None)
+
+    # ------------------------------------------------------------------
+    # Protocol steps
+    # ------------------------------------------------------------------
+
+    def seed_hit_ratio(self, reference: np.ndarray) -> None:
+        """Install the server's shared-dataset hit-ratio estimate."""
+        ref = np.asarray(reference, dtype=float)
+        if ref.shape != self.hit_ratio.shape:
+            raise ValueError(
+                f"reference shape {ref.shape} != expected {self.hit_ratio.shape}"
+            )
+        self.hit_ratio = ref.copy()
+
+    def status(self) -> ClientStatus:
+        """Status uploaded with the next cache-allocation request."""
+        return ClientStatus(
+            client_id=self.client_id,
+            timestamps=self.timestamps.copy(),
+            frequencies=self.last_frequencies.copy(),
+            hit_ratio=self.hit_ratio.copy(),
+            cache_budget_bytes=self.cache_budget_bytes,
+        )
+
+    def install_cache(self, cache: SemanticCache | None) -> None:
+        """Load the cache allocated by the server for the coming round."""
+        self.engine.set_cache(cache)
+
+    def run_round(self, num_frames: int | None = None) -> RoundReport:
+        """Run F inferences, maintaining status and the update table."""
+        frames = num_frames if num_frames is not None else self.config.frames_per_round
+        if frames < 1:
+            raise ValueError(f"num_frames must be >= 1, got {frames}")
+
+        num_classes = self.model.num_classes
+        phi = np.zeros(num_classes)
+        update_entries: dict[tuple[int, int], np.ndarray] = {}
+        report = RoundReport(
+            client_id=self.client_id,
+            records=[],
+            update_entries=update_entries,
+            frequencies=phi,
+        )
+        layer_hits = np.zeros(self.model.num_cache_layers)
+
+        for frame in self.stream.take(frames):
+            sample = self.model.draw_sample(frame, self.client_id, self._rng)
+            outcome = self.engine.infer(sample)
+            predicted = outcome.predicted_class
+
+            # Status vectors track the *inferred* class (no labels online).
+            self.timestamps += 1.0
+            self.timestamps[predicted] = 0.0
+            phi[predicted] += 1.0
+            if outcome.hit_layer is not None:
+                layer_hits[outcome.hit_layer] += 1.0
+
+            self._maybe_collect(sample, outcome, update_entries, report)
+
+            report.records.append(
+                InferenceRecord(
+                    true_class=frame.class_id,
+                    predicted_class=predicted,
+                    latency_ms=outcome.latency_ms,
+                    hit_layer=outcome.hit_layer,
+                    client_id=self.client_id,
+                )
+            )
+
+        self._refresh_hit_ratio(layer_hits, frames)
+        self.last_frequencies = phi.copy()
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _refresh_hit_ratio(self, layer_hits: np.ndarray, frames: int) -> None:
+        """EMA-blend observed hit ratios into R (active layers only).
+
+        R holds *standalone* per-layer hit-ratio estimates (see
+        :meth:`repro.core.server.CoCaServer.measure_layer_hit_ratios`).
+        With several layers active, the cumulative hits at-or-before layer
+        ``j`` estimate layer ``j``'s standalone ratio, by the same
+        hits-propagate-deeper hypothesis ACA relies on.
+        """
+        cache = self.engine.cache
+        if cache is None:
+            return
+        blend = 0.5
+        cumulative = 0.0
+        for layer in cache.active_layers:
+            cumulative += layer_hits[layer] / frames
+            self.hit_ratio[layer] = (
+                1 - blend
+            ) * self.hit_ratio[layer] + blend * cumulative
+
+    def _maybe_collect(
+        self,
+        sample,
+        outcome: InferenceOutcome,
+        update_entries: dict[tuple[int, int], np.ndarray],
+        report: RoundReport,
+    ) -> None:
+        """Apply the two Sec. IV-C collection rules to one inference."""
+        predicted = outcome.predicted_class
+        if outcome.hit:
+            report.eligible_hits += 1
+            assert outcome.hit_score is not None
+            if outcome.hit_score > self.config.collect_gamma:
+                layers = [p.layer for p in outcome.probes]  # up to the hit
+                self._absorb(sample, predicted, layers, update_entries)
+                report.absorbed_hits += 1
+                report.collected_total += 1
+                report.collected_correct += int(predicted == sample.true_class)
+        else:
+            assert outcome.top2_prob_gap is not None
+            report.eligible_misses += 1
+            if outcome.top2_prob_gap > self.config.collect_delta:
+                layers = list(range(self.model.num_cache_layers))
+                self._absorb(sample, predicted, layers, update_entries)
+                report.absorbed_misses += 1
+                report.collected_total += 1
+                report.collected_correct += int(predicted == sample.true_class)
+
+    def _absorb(
+        self,
+        sample,
+        class_id: int,
+        layers: list[int],
+        update_entries: dict[tuple[int, int], np.ndarray],
+    ) -> None:
+        """Fold the sample's vectors into the update table via Eq. 3."""
+        beta = self.config.beta
+        for layer in layers:
+            vector = sample.vector(layer)
+            key = (class_id, layer)
+            if key in update_entries:
+                merged = vector + beta * update_entries[key]
+            else:
+                merged = vector.copy()
+            norm = np.linalg.norm(merged)
+            if norm > 0:
+                update_entries[key] = merged / norm

@@ -1,0 +1,106 @@
+"""Cache-instrumented inference over the simulated model.
+
+The engine executes the paper's client-side inference loop: run blocks in
+order; after each block whose cache layer is activated, extract the
+semantic vector, probe the cache (charging the lookup cost), and terminate
+early on a hit.  On a miss everywhere, run to the end and use the model
+classifier.  All latency is the sum of executed block compute times plus
+the lookup costs of the probed layers — exactly Eq. 7's cost structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cache import LayerProbe, SemanticCache
+from repro.models.base import SimulatedModel
+from repro.models.feature import SampleFeatures
+
+
+@dataclass(frozen=True)
+class InferenceOutcome:
+    """Everything observable from one cached inference.
+
+    Attributes:
+        predicted_class: class returned to the application.
+        hit_layer: cache layer that hit, or ``None`` on full execution.
+        latency_ms: compute + lookup latency of this inference.
+        probes: per-layer lookup outcomes, in probe order.
+        hit_score: Eq. 2 score at the hit layer (``None`` on miss) — used
+            by the Gamma collection rule.
+        top2_prob_gap: gap between the two largest softmax probabilities of
+            the full model (``None`` unless the model ran to completion) —
+            used by the Delta collection rule.
+    """
+
+    predicted_class: int
+    hit_layer: int | None
+    latency_ms: float
+    probes: tuple[LayerProbe, ...] = field(default_factory=tuple)
+    hit_score: float | None = None
+    top2_prob_gap: float | None = None
+
+    @property
+    def hit(self) -> bool:
+        return self.hit_layer is not None
+
+
+class CachedInferenceEngine:
+    """Runs samples through a model with an optional semantic cache.
+
+    Args:
+        model: the simulated model substrate.
+        cache: the client's current :class:`SemanticCache`, or ``None``
+            for pure Edge-Only execution.
+    """
+
+    def __init__(self, model: SimulatedModel, cache: SemanticCache | None = None) -> None:
+        self.model = model
+        self.cache = cache
+
+    def set_cache(self, cache: SemanticCache | None) -> None:
+        """Swap in a newly allocated cache (start of a CoCa round)."""
+        self.cache = cache
+
+    def infer(self, sample: SampleFeatures) -> InferenceOutcome:
+        """Run one sample, returning prediction and charged latency."""
+        profile = self.model.profile
+        if self.cache is None or not self.cache.active_layers:
+            predicted, probs = self.model.classify(sample)
+            probs_sorted = sorted(probs, reverse=True)
+            gap = float(probs_sorted[0] - probs_sorted[1]) if len(probs_sorted) > 1 else 1.0
+            return InferenceOutcome(
+                predicted_class=predicted,
+                hit_layer=None,
+                latency_ms=profile.total_compute_ms,
+                top2_prob_gap=gap,
+            )
+
+        session = self.cache.start_session()
+        probes: list[LayerProbe] = []
+        lookup_ms = 0.0
+        for layer in self.cache.active_layers:
+            num_entries = self.cache.num_entries(layer)
+            lookup_ms += profile.lookup_cost_ms(num_entries)
+            probe = session.probe(layer, sample.vector(layer))
+            probes.append(probe)
+            if probe.hit:
+                latency = profile.compute_up_to_layer_ms(layer) + lookup_ms
+                return InferenceOutcome(
+                    predicted_class=probe.top_class,
+                    hit_layer=layer,
+                    latency_ms=latency,
+                    probes=tuple(probes),
+                    hit_score=probe.score,
+                )
+
+        predicted, probs = self.model.classify(sample)
+        probs_sorted = sorted(probs, reverse=True)
+        gap = float(probs_sorted[0] - probs_sorted[1]) if len(probs_sorted) > 1 else 1.0
+        return InferenceOutcome(
+            predicted_class=predicted,
+            hit_layer=None,
+            latency_ms=profile.total_compute_ms + lookup_ms,
+            probes=tuple(probes),
+            top2_prob_gap=gap,
+        )

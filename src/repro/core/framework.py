@@ -1,0 +1,296 @@
+"""Round-based orchestration of the CoCa client-server protocol.
+
+One framework round follows Fig. 3 of the paper, per client:
+
+1. the client uploads status (tau, R, Pi) and requests a cache;
+2. the server runs ACA over the global state and returns the sub-table;
+3. the client runs ``F`` inferences with the cache, collecting status and
+   its update table;
+4. the server merges the update table into the global cache (Eq. 4/5).
+
+The two core mechanisms can be disabled independently for the Fig. 9
+ablation: with ``enable_dca=False`` allocation is *static* (computed once
+from the shared-dataset reference statistics, with all classes as
+hot-spots); with ``enable_gcu=False`` step 4 is skipped so the global
+table keeps its initial shared-dataset centroids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allocation import AllocationResult, aca_allocate
+from repro.core.client import CoCaClient, RoundReport
+from repro.core.config import CoCaConfig
+from repro.core.server import CoCaServer
+from repro.data.datasets import DatasetSpec
+from repro.data.partition import apply_longtail, dirichlet_partition
+from repro.data.stream import StreamGenerator
+from repro.models.base import SimulatedModel
+from repro.models.zoo import build_model
+from repro.sim.metrics import MetricsCollector, MetricsSummary
+
+
+@dataclass
+class RoundSummary:
+    """Per-round aggregate diagnostics."""
+
+    round_index: int
+    avg_latency_ms: float
+    accuracy: float
+    hit_ratio: float
+    absorbed_hits: int
+    absorbed_misses: int
+
+
+@dataclass
+class FrameworkResult:
+    """Outcome of a multi-round CoCa run."""
+
+    metrics: MetricsCollector
+    rounds: list[RoundSummary]
+    server: CoCaServer
+    clients: list[CoCaClient]
+    reports: list[RoundReport] = field(default_factory=list)
+
+    def summary(self) -> MetricsSummary:
+        return self.metrics.summary()
+
+
+class CoCaFramework:
+    """Builds and drives a complete multi-client CoCa deployment.
+
+    Args:
+        model: a pre-built :class:`SimulatedModel`, or ``None`` to build
+            ``model_name`` against ``dataset``.
+        model_name / dataset: used when ``model`` is ``None``.
+        num_clients: number of participating edge clients.
+        config: CoCa hyper-parameters.
+        seed: master seed; every stochastic component derives from it.
+        non_iid_level: the paper's ``p`` (0 = IID).
+        longtail_rho: imbalance ratio (1 = uniform).
+        enable_dca: dynamic cache allocation (ablation switch).
+        enable_gcu: global cache updates (ablation switch).
+        budget_fraction: per-client Pi as a fraction of the full table
+            (``None`` = config default).
+    """
+
+    def __init__(
+        self,
+        dataset: DatasetSpec,
+        model_name: str = "resnet101",
+        model: SimulatedModel | None = None,
+        num_clients: int = 10,
+        config: CoCaConfig | None = None,
+        seed: int = 0,
+        non_iid_level: float = 0.0,
+        longtail_rho: float = 1.0,
+        enable_dca: bool = True,
+        enable_gcu: bool = True,
+        budget_fraction: float | None = None,
+        client_drift_scale: float | None = None,
+        participation_rate: float = 1.0,
+        temporal_drift_per_round: float = 0.0,
+    ) -> None:
+        if num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+        if not 0.0 < participation_rate <= 1.0:
+            raise ValueError(
+                f"participation_rate must be in (0, 1], got {participation_rate}"
+            )
+        if temporal_drift_per_round < 0:
+            raise ValueError("temporal_drift_per_round must be >= 0")
+        self.config = config if config is not None else CoCaConfig()
+        self.enable_dca = enable_dca
+        self.enable_gcu = enable_gcu
+        self.participation_rate = participation_rate
+        self.temporal_drift_per_round = temporal_drift_per_round
+        root = np.random.SeedSequence(seed)
+        geometry_seed, partition_seed, server_seed, *client_seeds = root.spawn(
+            3 + num_clients
+        )
+
+        if model is None:
+            model = build_model(
+                model_name,
+                dataset,
+                num_clients=num_clients,
+                seed=int(geometry_seed.generate_state(1)[0]),
+                client_drift_scale=client_drift_scale,
+            )
+        self.model = model
+
+        partition_rng = np.random.default_rng(partition_seed)
+        distributions = dirichlet_partition(
+            model.num_classes, num_clients, non_iid_level, partition_rng
+        )
+        if longtail_rho > 1.0:
+            distributions = np.stack(
+                [
+                    apply_longtail(dist, longtail_rho, partition_rng)
+                    for dist in distributions
+                ]
+            )
+
+        self.server = CoCaServer(model, self.config)
+        self.server.initialize_from_shared_dataset(np.random.default_rng(server_seed))
+
+        budget = self.server.cache_size_limit_bytes(budget_fraction)
+        self.clients: list[CoCaClient] = []
+        for k in range(num_clients):
+            rng = np.random.default_rng(client_seeds[k])
+            stream = StreamGenerator(
+                class_distribution=distributions[k],
+                mean_run_length=dataset.mean_run_length,
+                rng=rng,
+                base_difficulty=dataset.difficulty,
+            )
+            client = CoCaClient(
+                client_id=k,
+                model=model,
+                stream=stream,
+                config=self.config,
+                rng=rng,
+                cache_budget_bytes=budget,
+            )
+            client.seed_hit_ratio(self.server.reference_hit_ratio)
+            self.clients.append(client)
+
+        self._static_allocation: AllocationResult | None = None
+        if not enable_dca:
+            self._static_allocation = self._build_static_allocation(budget)
+        self._protocol_rng = np.random.default_rng(
+            np.random.SeedSequence(seed).spawn(1)[0].generate_state(1)[0] + 17
+        )
+
+    def _build_static_allocation(self, budget_bytes: int) -> AllocationResult:
+        """Fixed allocation for the no-DCA ablation (the paper's "Normal"):
+        the model's preset cache as-is — every class cached at every
+        preset layer, no budget-driven selection.  This is the Fig. 1a
+        "100% cache size" configuration that dynamic allocation improves
+        on by pruning lookup-heavy layers and cold classes."""
+        del budget_bytes  # the fixed configuration ignores the budget
+        num_classes = self.model.num_classes
+        all_classes = np.arange(num_classes)
+        layer_classes = {
+            layer: all_classes.copy()
+            for layer in range(self.model.num_cache_layers)
+        }
+        size = num_classes * sum(
+            self.model.profile.entry_size_bytes(j)
+            for j in range(self.model.num_cache_layers)
+        )
+        return AllocationResult(
+            layer_classes=layer_classes,
+            hotspot_classes=all_classes,
+            size_bytes=size,
+            scores=np.ones(num_classes),
+        )
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run_round(self, round_index: int = 0) -> list[RoundReport]:
+        """Execute one full protocol round.
+
+        With ``participation_rate < 1``, each client independently joins
+        the round with that probability (at least one always joins);
+        offline clients keep their previous cache and upload nothing —
+        the dropout robustness the client-server design affords.  With
+        ``temporal_drift_per_round > 0`` the feature environment evolves
+        before the round (Sec. IV-A's "contextual feature changes").
+        """
+        if self.temporal_drift_per_round > 0:
+            self.model.feature_space.evolve_drift(
+                self.temporal_drift_per_round, self._protocol_rng
+            )
+        if self.participation_rate < 1.0:
+            joining = [
+                client
+                for client in self.clients
+                if self._protocol_rng.random() < self.participation_rate
+            ]
+            if not joining:
+                joining = [
+                    self.clients[
+                        int(self._protocol_rng.integers(len(self.clients)))
+                    ]
+                ]
+        else:
+            joining = self.clients
+
+        reports: list[RoundReport] = []
+        for client in joining:
+            status = client.status()
+            if self.enable_dca:
+                cache, _ = self.server.allocate(
+                    status.timestamps,
+                    status.hit_ratio,
+                    status.cache_budget_bytes,
+                    local_freq=status.frequencies,
+                )
+            else:
+                assert self._static_allocation is not None
+                cache = self.server.build_cache(self._static_allocation.layer_classes)
+            client.install_cache(cache)
+            report = client.run_round()
+            reports.append(report)
+        # Global updates happen after all clients finish the round.
+        if self.enable_gcu:
+            for report in reports:
+                self.server.apply_client_update(
+                    report.update_entries, report.frequencies
+                )
+        else:
+            # Frequencies still accumulate (they are bookkeeping, not cache
+            # content); only the semantic entries stay frozen.
+            for report in reports:
+                self.server.table.add_frequencies(report.frequencies)
+        return reports
+
+    def run(self, num_rounds: int, warmup_rounds: int = 0) -> FrameworkResult:
+        """Run the protocol and aggregate metrics.
+
+        Args:
+            num_rounds: measured protocol rounds.
+            warmup_rounds: extra leading rounds excluded from metrics
+                (lets caches adapt before measuring steady state).
+        """
+        if num_rounds < 1:
+            raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
+        metrics = MetricsCollector()
+        rounds: list[RoundSummary] = []
+        all_reports: list[RoundReport] = []
+        for r in range(warmup_rounds + num_rounds):
+            reports = self.run_round(r)
+            if r < warmup_rounds:
+                continue
+            round_metrics = MetricsCollector()
+            absorbed_hits = absorbed_misses = 0
+            for report in reports:
+                round_metrics.extend(report.records)
+                metrics.extend(report.records)
+                absorbed_hits += report.absorbed_hits
+                absorbed_misses += report.absorbed_misses
+            all_reports.extend(reports)
+            summary = round_metrics.summary()
+            rounds.append(
+                RoundSummary(
+                    round_index=r,
+                    avg_latency_ms=summary.avg_latency_ms,
+                    accuracy=summary.accuracy,
+                    hit_ratio=summary.hit_ratio,
+                    absorbed_hits=absorbed_hits,
+                    absorbed_misses=absorbed_misses,
+                )
+            )
+        return FrameworkResult(
+            metrics=metrics,
+            rounds=rounds,
+            server=self.server,
+            clients=self.clients,
+            reports=all_reports,
+        )

@@ -1,0 +1,453 @@
+"""The CoCa edge server: global cache table, global updates, allocation.
+
+The server maintains a two-dimensional global cache table whose rows are
+classes and columns are the model's preset cache layers (Sec. IV-A).  Each
+round it:
+
+* answers cache-allocation requests by running ACA over the global class
+  frequencies Phi and the client's status (tau, R, Pi) and extracting the
+  selected sub-table (Sec. IV-B), and
+* folds each client's uploaded update table into the global table by
+  frequency-weighted averaging (Eq. 4) and accumulates class frequencies
+  (Eq. 5) — the mechanism that mitigates non-IID drift (Sec. IV-D).
+
+The initial table and the reference per-layer hit-ratio vector come from
+the server's *global shared dataset*, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import AllocationResult, aca_allocate
+from repro.core.cache import SemanticCache
+from repro.core.config import CoCaConfig
+from repro.data.stream import StreamGenerator
+from repro.models.base import SimulatedModel
+
+_EPS = 1e-12
+
+
+class GlobalCacheTable:
+    """The I x L table of per-(class, layer) semantic centroids.
+
+    Args:
+        num_classes: number of rows I.
+        num_layers: number of columns L (preset cache layers).
+        dim: dimensionality of the centroids.
+    """
+
+    def __init__(self, num_classes: int, num_layers: int, dim: int) -> None:
+        if min(num_classes, num_layers, dim) < 1:
+            raise ValueError("table dimensions must be positive")
+        self.num_classes = num_classes
+        self.num_layers = num_layers
+        self.dim = dim
+        self.entries = np.zeros((num_classes, num_layers, dim))
+        self.filled = np.zeros((num_classes, num_layers), dtype=bool)
+        self.class_freq = np.zeros(num_classes)  # Phi
+
+    def install(self, class_id: int, layer: int, vector: np.ndarray) -> None:
+        """Set an entry directly (initialization from the shared dataset)."""
+        vec = np.asarray(vector, dtype=float)
+        norm = np.linalg.norm(vec)
+        if norm < _EPS:
+            raise ValueError("cannot install a zero centroid")
+        self.entries[class_id, layer] = vec / norm
+        self.filled[class_id, layer] = True
+
+    def merge_update(
+        self,
+        class_id: int,
+        layer: int,
+        update_vector: np.ndarray,
+        local_freq: float,
+        gamma: float,
+    ) -> None:
+        """Eq. 4: frequency-weighted merge of one client update entry."""
+        if local_freq < 0:
+            raise ValueError(f"local_freq must be >= 0, got {local_freq}")
+        if local_freq == 0:
+            return
+        new = np.asarray(update_vector, dtype=float)
+        if not self.filled[class_id, layer]:
+            norm = np.linalg.norm(new)
+            if norm >= _EPS:
+                self.install(class_id, layer, new)
+            return
+        global_freq = self.class_freq[class_id]
+        denom = global_freq + local_freq
+        old = self.entries[class_id, layer]
+        merged = (
+            gamma * (global_freq / denom) * old + (local_freq / denom) * new
+        )
+        norm = np.linalg.norm(merged)
+        if norm >= _EPS:
+            self.entries[class_id, layer] = merged / norm
+
+    def add_frequencies(self, local_freq: np.ndarray) -> None:
+        """Eq. 5: accumulate a client's round frequencies into Phi."""
+        phi = np.asarray(local_freq, dtype=float)
+        if phi.shape != (self.num_classes,):
+            raise ValueError(
+                f"frequency vector shape {phi.shape} != ({self.num_classes},)"
+            )
+        if np.any(phi < 0):
+            raise ValueError("frequencies must be non-negative")
+        self.class_freq += phi
+
+    def subtable(self, layer_classes: dict[int, np.ndarray]) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Extract (ids, centroids) per layer for an allocation result."""
+        out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for layer, ids in layer_classes.items():
+            mask = self.filled[ids, layer]
+            usable = np.asarray(ids)[mask]
+            if usable.size == 0:
+                continue
+            out[layer] = (usable, self.entries[usable, layer].copy())
+        return out
+
+
+class CoCaServer:
+    """Edge server hosting the global cache and allocation service.
+
+    Args:
+        model: the deployed model (defines layers, sizes, feature space).
+        config: CoCa hyper-parameters.
+        freq_prior: virtual prior count per class seeding Phi, so that
+            cold-start allocations are well defined.
+    """
+
+    def __init__(
+        self,
+        model: SimulatedModel,
+        config: CoCaConfig,
+        freq_prior: float = 50.0,
+        drift_margin: float = 0.08,
+    ) -> None:
+        self.model = model
+        self.config = config
+        #: Expected *residual* client drift: the per-client component that
+        #: global updates cannot learn (the shared component is absorbed
+        #: into the global table).  The exit-loss estimate G perturbs the
+        #: cache entries by this much so that layers which are only
+        #: accurate for *pristine* centroids (typically the shallow ones,
+        #: whose margins are smallest) are not declared SLO-safe.
+        self.drift_margin = float(drift_margin)
+        num_layers = model.num_cache_layers
+        self.table = GlobalCacheTable(
+            num_classes=model.num_classes,
+            num_layers=num_layers,
+            dim=model.feature_space.config.dim,
+        )
+        self.table.class_freq += freq_prior
+        self.saved_time_ms = np.array(
+            [model.profile.saved_if_hit_at(j) for j in range(num_layers)]
+        )
+        self.reference_hit_ratio = np.zeros(num_layers)
+        self.reference_hit_accuracy = np.zeros(num_layers)
+        self.reference_exit_loss = np.zeros(num_layers)
+        #: Per-layer absolute similarity floors for cache hits, calibrated
+        #: as a low quantile of correct fires' top cosines on the shared
+        #: dataset (see SemanticCache.set_similarity_floor).
+        self.reference_similarity_floor = np.full(num_layers, -1.0)
+        self._entry_sizes = np.array(
+            [model.profile.entry_size_bytes(j) for j in range(num_layers)]
+        )
+
+    # ------------------------------------------------------------------
+    # Initialization from the global shared dataset
+    # ------------------------------------------------------------------
+
+    def initialize_from_shared_dataset(
+        self, rng: np.random.Generator, calibration_samples: int = 600
+    ) -> None:
+        """Fill the global table and measure the reference hit ratios.
+
+        The paper's server generates the initial cache from a global
+        shared dataset and characterizes the per-layer hit behaviour
+        empirically on it.  Our shared dataset is drift-free (client 0 of
+        a dedicated drift-free sampler is not available, so we use the
+        ideal centroids — the infinite-sample mean of shared-dataset
+        features) and the hit-ratio calibration runs an all-layer cache
+        over a uniform shared stream.
+        """
+        for layer in range(self.model.num_cache_layers):
+            centroids = self.model.ideal_centroids(layer)
+            for class_id in range(self.model.num_classes):
+                self.table.install(class_id, layer, centroids[class_id])
+        # Average two calibration passes (different random cached subsets)
+        # so layer eligibility does not hinge on one subset draw.
+        first = self.measure_layer_statistics(rng, num_samples=calibration_samples)
+        second = self.measure_layer_statistics(rng, num_samples=calibration_samples)
+        (
+            self.reference_hit_ratio,
+            self.reference_hit_accuracy,
+            self.reference_exit_loss,
+        ) = tuple((a + b) / 2.0 for a, b in zip(first, second))
+        self.reference_similarity_floor = self.measure_similarity_floors(
+            rng, num_samples=calibration_samples
+        )
+
+    def measure_layer_statistics(
+        self,
+        rng: np.random.Generator,
+        num_samples: int = 600,
+        cached_fraction: float = 0.9,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-layer cache statistics on the shared dataset.
+
+        The measurement mirrors deployment conditions: only a random
+        ``cached_fraction`` of the classes is cached (allocations are
+        always partial sub-tables; the default matches the ~90% stream
+        coverage hot-spot selection achieves in deployment), and entries
+        are perturbed by the expected client drift.  A stream sample of an *uncached* class
+        that still fires the threshold is an erroneous hit and counts
+        against the layer's accuracy — the mechanism that makes shallow
+        layers SLO-unsafe.
+
+        Returns three vectors of length L:
+
+        * **standalone hit ratio** — probability a *cached-class* sample
+          would hit at layer ``j`` probed in isolation.  This is the
+          semantics ACA's layer-benefit adjustment assumes: a sample
+          hitting at layer ``b`` would also hit at any deeper layer, so
+          standalone ratios grow with depth and ``R[j] -= R[b]`` leaves
+          each deeper layer with the *extra* hits it catches.
+        * **standalone hit accuracy** — fraction of all fires (cached or
+          not) whose class is correct.
+        * **exit loss** — accuracy the full model achieves *on the firing
+          samples* minus the hit accuracy: the accuracy sacrificed by
+          early-exiting at that layer.  This is the empirical estimate of
+          the paper's per-client accuracy-loss function G(X, Theta) used
+          to enforce the SLO constraint G <= Omega during allocation.
+        """
+        model = self.model
+        num_layers = model.num_cache_layers
+        num_classes = model.num_classes
+        if not 0.0 < cached_fraction <= 1.0:
+            raise ValueError(f"cached_fraction must be in (0, 1], got {cached_fraction}")
+        num_cached = max(2, int(round(cached_fraction * num_classes)))
+        cached = rng.choice(num_classes, size=num_cached, replace=False)
+        cached_set = set(int(c) for c in cached)
+
+        perturb_rng = np.random.default_rng(rng.integers(2**32))
+        centroids = []
+        for layer in range(num_layers):
+            base = model.ideal_centroids(layer)[cached]
+            if self.drift_margin > 0:
+                noise = perturb_rng.standard_normal(base.shape)
+                noise /= np.linalg.norm(noise, axis=1, keepdims=True)
+                base = base + self.drift_margin * noise
+                base /= np.linalg.norm(base, axis=1, keepdims=True)
+            centroids.append(base)
+        stream = StreamGenerator(
+            class_distribution=np.full(num_classes, 1.0 / num_classes),
+            mean_run_length=model.dataset.mean_run_length,
+            rng=rng,
+            base_difficulty=model.dataset.difficulty,
+            working_set_size=None,  # stable coverage of cached/uncached mix
+        )
+        theta = self.config.theta
+        fires = np.zeros(num_layers)
+        cached_hits = np.zeros(num_layers)
+        correct = np.zeros(num_layers)
+        model_correct_on_hitters = np.zeros(num_layers)
+        num_cached_samples = 0
+        for frame in stream.take(num_samples):
+            sample = model.draw_sample(frame, 0, rng)
+            model_ok = int(sample.model_prediction() == frame.class_id)
+            is_cached = frame.class_id in cached_set
+            num_cached_samples += int(is_cached)
+            for layer in range(num_layers):
+                similarity = centroids[layer] @ sample.vector(layer)
+                order = np.argsort(similarity)
+                best, second = similarity[order[-1]], similarity[order[-2]]
+                score = (best - second) / max(second, 1e-9)
+                if score > theta and best > 0:
+                    fires[layer] += 1
+                    cached_hits[layer] += int(is_cached)
+                    predicted = int(cached[order[-1]])
+                    correct[layer] += int(predicted == frame.class_id)
+                    model_correct_on_hitters[layer] += model_ok
+        ratio = cached_hits / max(1, num_cached_samples)
+        accuracy = np.divide(correct, fires, out=np.zeros(num_layers), where=fires > 0)
+        model_acc = np.divide(
+            model_correct_on_hitters, fires, out=np.zeros(num_layers), where=fires > 0
+        )
+        exit_loss = np.maximum(0.0, model_acc - accuracy)
+        return ratio, accuracy, exit_loss
+
+    def measure_similarity_floors(
+        self,
+        rng: np.random.Generator,
+        num_samples: int = 600,
+        quantile: float = 0.03,
+        margin: float = 0.01,
+    ) -> np.ndarray:
+        """Per-layer absolute similarity floors for cache hits.
+
+        For each layer, draw shared-dataset samples of *cached* classes
+        and record the cosine between the sample and its own class
+        centroid; the floor is a low quantile of that distribution minus a
+        small margin.  True hits clear the floor essentially always, while
+        a sample of an uncached class — whose best cosine is to some
+        *other* class's centroid — falls below it, because an entry of the
+        wrong class can never be as close as the sample's own centroid.
+        """
+        model = self.model
+        num_layers = model.num_cache_layers
+        centroids = np.stack(
+            [model.ideal_centroids(layer) for layer in range(num_layers)]
+        )  # (L, I, d)
+        stream = StreamGenerator(
+            class_distribution=np.full(
+                model.num_classes, 1.0 / model.num_classes
+            ),
+            mean_run_length=model.dataset.mean_run_length,
+            rng=rng,
+            base_difficulty=model.dataset.difficulty,
+            working_set_size=None,
+        )
+        own_sims: list[list[float]] = [[] for _ in range(num_layers)]
+        for frame in stream.take(num_samples):
+            sample = model.draw_sample(frame, 0, rng)
+            # Floors gate *confident* hits, so calibrate on the easy
+            # majority (hard samples would not hit their own class anyway).
+            if sample.confusion_weight > 0.4:
+                continue
+            for layer in range(num_layers):
+                own = centroids[layer, frame.class_id] @ sample.vector(layer)
+                own_sims[layer].append(float(own))
+        floors = np.full(num_layers, -1.0)
+        for layer in range(num_layers):
+            if own_sims[layer]:
+                floors[layer] = float(
+                    np.quantile(own_sims[layer], quantile) - margin
+                )
+        return floors
+
+    def eligible_layers(self, accuracy_loss_budget: float | None = None) -> np.ndarray:
+        """Cache layers whose early-exit accuracy loss fits the SLO budget.
+
+        Implements the formulation's constraint ``G(X, Theta) <= Omega``
+        via the shared-dataset estimate: layer ``j`` may be allocated only
+        when exiting there costs at most ``Omega`` accuracy on the samples
+        it captures.
+        """
+        omega = (
+            self.config.accuracy_loss_budget
+            if accuracy_loss_budget is None
+            else accuracy_loss_budget
+        )
+        # A layer that almost never fired during calibration provides no
+        # evidence of safety (its measured exit loss is ~0 by vacuity), so
+        # require a minimum observed hit ratio before declaring it safe.
+        evidence = self.reference_hit_ratio >= 0.02
+        mask = (self.reference_exit_loss <= omega) & evidence
+        return np.flatnonzero(mask)
+
+    # ------------------------------------------------------------------
+    # Protocol services
+    # ------------------------------------------------------------------
+
+    def allocate(
+        self,
+        timestamps: np.ndarray,
+        hit_ratio: np.ndarray,
+        budget_bytes: int,
+        local_freq: np.ndarray | None = None,
+    ) -> tuple[SemanticCache, AllocationResult]:
+        """Serve one cache-allocation request (Sec. IV-B)."""
+        result = aca_allocate(
+            global_freq=self.table.class_freq,
+            timestamps=timestamps,
+            hit_ratio=hit_ratio,
+            saved_time_ms=self.saved_time_ms,
+            entry_sizes_bytes=self._entry_sizes,
+            budget_bytes=budget_bytes,
+            frames_per_round=self.config.frames_per_round,
+            hotspot_mass=self.config.hotspot_mass,
+            recency_base=self.config.recency_base,
+            available_classes=self.table.filled,
+            allowed_layers=self.eligible_layers(),
+            local_freq=local_freq,
+        )
+        cache = self.build_cache(result.layer_classes)
+        return cache, result
+
+    def build_cache(self, layer_classes: dict[int, np.ndarray]) -> SemanticCache:
+        """Materialize a client cache from a layer -> classes mapping."""
+        cache = SemanticCache(
+            self.model.num_classes, alpha=self.config.alpha, theta=self.config.theta
+        )
+        for layer, (ids, centroids) in self.table.subtable(layer_classes).items():
+            cache.set_layer_entries(layer, ids, centroids)
+            floor = float(self.reference_similarity_floor[layer])
+            if floor > -1.0:
+                cache.set_similarity_floor(layer, floor)
+        return cache
+
+    def apply_client_update(
+        self,
+        update_entries: dict[tuple[int, int], np.ndarray],
+        local_freq: np.ndarray,
+    ) -> None:
+        """Global updates: Eq. 4 for each uploaded entry, then Eq. 5."""
+        gamma = self.config.gamma
+        for (class_id, layer), vector in update_entries.items():
+            self.table.merge_update(
+                class_id, layer, vector, float(local_freq[class_id]), gamma
+            )
+        self.table.add_frequencies(local_freq)
+
+    def cache_size_limit_bytes(self, fraction: float | None = None) -> int:
+        """Pi as a fraction of the full-table size (default from config)."""
+        frac = self.config.cache_budget_fraction if fraction is None else fraction
+        full = self.model.num_classes * int(self._entry_sizes.sum())
+        return max(1, int(frac * full))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save_table(self, path) -> None:
+        """Persist the global cache table (entries, fill mask, Phi) to
+        ``path`` as a compressed npz archive.
+
+        Lets a server restart warm, or ship a trained global cache to a
+        new deployment of the same model geometry.
+        """
+        np.savez_compressed(
+            path,
+            entries=self.table.entries,
+            filled=self.table.filled,
+            class_freq=self.table.class_freq,
+            reference_hit_ratio=self.reference_hit_ratio,
+            reference_hit_accuracy=self.reference_hit_accuracy,
+            reference_exit_loss=self.reference_exit_loss,
+            reference_similarity_floor=self.reference_similarity_floor,
+        )
+
+    def load_table(self, path) -> None:
+        """Restore a global cache table saved by :meth:`save_table`.
+
+        Raises:
+            ValueError: if the archive's dimensions do not match this
+                server's model (class count, layer count, feature dim).
+        """
+        archive = np.load(path)
+        entries = archive["entries"]
+        if entries.shape != self.table.entries.shape:
+            raise ValueError(
+                f"archive table shape {entries.shape} does not match "
+                f"{self.table.entries.shape}"
+            )
+        self.table.entries = entries
+        self.table.filled = archive["filled"]
+        self.table.class_freq = archive["class_freq"]
+        self.reference_hit_ratio = archive["reference_hit_ratio"]
+        self.reference_hit_accuracy = archive["reference_hit_accuracy"]
+        self.reference_exit_loss = archive["reference_exit_loss"]
+        if "reference_similarity_floor" in archive:
+            self.reference_similarity_floor = archive["reference_similarity_floor"]

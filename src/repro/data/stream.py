@@ -1,0 +1,207 @@
+"""Temporally-local class streams — the workload the cache exploits.
+
+Result caching pays off because consecutive frames of a video stream are
+highly correlated: the same class persists for many frames ("temporal
+locality", Sec. II-2).  We model a client's stream with *two levels* of
+locality, matching how a camera feed actually behaves:
+
+* a **working set** of classes — the handful of things currently in view
+  of the camera (sampled from the client's class distribution) — which
+  churns slowly: each run replaces one member with a fresh class with a
+  small probability (a "scene change");
+* **runs** — geometric-length bursts of consecutive same-class frames
+  (mean = ``mean_run_length``), drawn from the working set weighted by
+  the client distribution.
+
+The working set is what makes recency-based caching (Eq. 10) effective:
+classes recur within a few hundred frames while in the set, and a class
+that newly enters the set first misses the cache (the full model handles
+it) and is cached from the next round on.
+
+Each frame also carries a *difficulty* in [0, 1): frames early in a run
+are slightly harder (scene transitions), and a per-frame random component
+models intra-class variation.  The model substrate turns difficulty into
+feature confusion, which is what produces the paper's "easy samples hit
+at shallow cache layers" behaviour (Fig. 1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One element of a client's inference stream.
+
+    Attributes:
+        class_id: ground-truth class of the frame.
+        difficulty: in [0, 1); scales feature noise in the model substrate.
+        run_position: 0-based index of the frame within its same-class run.
+        stream_index: 0-based global index of the frame within the stream.
+    """
+
+    class_id: int
+    difficulty: float
+    run_position: int
+    stream_index: int
+
+
+class StreamGenerator:
+    """Generates an endless temporally-local frame stream for one client.
+
+    Args:
+        class_distribution: probability vector over classes for this client
+            (from :func:`repro.data.partition.dirichlet_partition`, possibly
+            long-tailed).
+        mean_run_length: expected frames per same-class run; larger values
+            mean stronger temporal locality.
+        rng: numpy generator; streams with equal seeds are identical.
+        base_difficulty: dataset-level difficulty offset (see
+            :class:`repro.data.datasets.DatasetSpec`).
+        difficulty_jitter: width of the per-frame uniform difficulty
+            component.
+        transition_penalty: extra difficulty applied to the first frames of
+            a run, decaying geometrically with run position.
+        working_set_size: number of classes simultaneously "in view";
+            ``None`` or a value >= the class count disables the working
+            set (every run samples the full distribution).
+        churn_probability: per-run probability that one working-set member
+            is replaced by a fresh class (a scene change).
+    """
+
+    def __init__(
+        self,
+        class_distribution: np.ndarray,
+        mean_run_length: float,
+        rng: np.random.Generator,
+        base_difficulty: float = 0.3,
+        difficulty_jitter: float = 0.25,
+        transition_penalty: float = 0.08,
+        working_set_size: int | None = 10,
+        churn_probability: float = 0.08,
+    ) -> None:
+        probs = np.asarray(class_distribution, dtype=float)
+        if probs.ndim != 1 or probs.size < 1:
+            raise ValueError("class_distribution must be a non-empty 1-D vector")
+        if np.any(probs < 0) or not np.isclose(probs.sum(), 1.0, atol=1e-6):
+            raise ValueError("class_distribution must be a probability vector")
+        if mean_run_length < 1.0:
+            raise ValueError(f"mean_run_length must be >= 1, got {mean_run_length}")
+        if not 0.0 <= base_difficulty < 1.0:
+            raise ValueError(f"base_difficulty must be in [0, 1), got {base_difficulty}")
+
+        if not 0.0 <= churn_probability <= 1.0:
+            raise ValueError(
+                f"churn_probability must be in [0, 1], got {churn_probability}"
+            )
+        self._probs = probs / probs.sum()
+        self._classes = np.arange(probs.size)
+        self._mean_run_length = float(mean_run_length)
+        self._rng = rng
+        self._base_difficulty = float(base_difficulty)
+        self._jitter = float(difficulty_jitter)
+        self._transition_penalty = float(transition_penalty)
+        self._churn = float(churn_probability)
+        self._index = 0
+        self._current_class: int | None = None
+        self._remaining_in_run = 0
+        self._run_position = 0
+
+        if working_set_size is None or working_set_size >= probs.size:
+            self._working_set: np.ndarray | None = None
+        else:
+            if working_set_size < 1:
+                raise ValueError(
+                    f"working_set_size must be >= 1, got {working_set_size}"
+                )
+            self._working_set = rng.choice(
+                self._classes, size=working_set_size, replace=False, p=self._probs
+            )
+
+    @property
+    def num_classes(self) -> int:
+        return int(self._probs.size)
+
+    @property
+    def working_set(self) -> np.ndarray | None:
+        """Classes currently "in view" (``None`` when disabled)."""
+        return None if self._working_set is None else self._working_set.copy()
+
+    def _maybe_churn_working_set(self) -> None:
+        if self._working_set is None or self._rng.random() >= self._churn:
+            return
+        outside = np.setdiff1d(self._classes, self._working_set)
+        if outside.size == 0:
+            return
+        weights = self._probs[outside]
+        total = weights.sum()
+        if total <= 0:
+            return
+        newcomer = int(self._rng.choice(outside, p=weights / total))
+        slot = int(self._rng.integers(self._working_set.size))
+        self._working_set[slot] = newcomer
+
+    def _draw_run_class(self) -> int:
+        if self._working_set is None:
+            return int(self._rng.choice(self._classes, p=self._probs))
+        weights = self._probs[self._working_set]
+        total = weights.sum()
+        if total <= 0:
+            return int(self._rng.choice(self._working_set))
+        return int(self._rng.choice(self._working_set, p=weights / total))
+
+    def _start_new_run(self) -> None:
+        self._maybe_churn_working_set()
+        self._current_class = self._draw_run_class()
+        # Geometric run length with the configured mean (support >= 1).
+        p_stop = 1.0 / self._mean_run_length
+        self._remaining_in_run = int(self._rng.geometric(p_stop))
+        self._run_position = 0
+
+    def _frame_difficulty(self, run_position: int) -> float:
+        transition = self._transition_penalty * (0.5 ** run_position)
+        jitter = self._rng.uniform(0.0, self._jitter)
+        return float(min(0.999, self._base_difficulty + transition + jitter))
+
+    def next_frame(self) -> Frame:
+        """Produce the next frame of the stream."""
+        if self._remaining_in_run <= 0:
+            self._start_new_run()
+        assert self._current_class is not None
+        frame = Frame(
+            class_id=self._current_class,
+            difficulty=self._frame_difficulty(self._run_position),
+            run_position=self._run_position,
+            stream_index=self._index,
+        )
+        self._remaining_in_run -= 1
+        self._run_position += 1
+        self._index += 1
+        return frame
+
+    def take(self, count: int) -> list[Frame]:
+        """Produce the next ``count`` frames as a list."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return [self.next_frame() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[Frame]:
+        while True:
+            yield self.next_frame()
+
+
+def empirical_class_frequencies(frames: list[Frame], num_classes: int) -> np.ndarray:
+    """Observed class frequency vector of a frame batch (sums to 1)."""
+    counts = np.zeros(num_classes, dtype=float)
+    for frame in frames:
+        if not 0 <= frame.class_id < num_classes:
+            raise ValueError(
+                f"frame class {frame.class_id} out of range [0, {num_classes})"
+            )
+        counts[frame.class_id] += 1.0
+    total = counts.sum()
+    return counts / total if total > 0 else counts

@@ -1,0 +1,94 @@
+"""Cache-allocation comparison — Fig. 8 (ACA vs LRU / FIFO / RAND).
+
+All policies manage the same cache structure (a static set of high-benefit
+layers, each holding at most ``cache_size`` class entries); ACA runs with
+the *same total memory* so the comparison isolates the allocation policy.
+The workload is long-tailed (Sec. VI-G uses a 100-class long-tail UCF101
+stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import CoCaRunner, ReplacementPolicyCache
+from repro.core.config import CoCaConfig
+from repro.experiments.scenario import Scenario
+from repro.experiments.slo import fresh_scenario
+
+
+@dataclass(frozen=True)
+class AllocationPoint:
+    """One (policy, cache size) measurement."""
+
+    policy: str
+    cache_size: int
+    latency_ms: float
+    accuracy_pct: float
+    hit_ratio_pct: float
+
+
+def run_allocation_comparison(
+    scenario: Scenario,
+    cache_sizes: tuple[int, ...] = (10, 30, 50, 70, 90),
+    theta: float = 0.05,
+    rounds: int = 3,
+    warmup: int = 1,
+) -> list[AllocationPoint]:
+    """Fig. 8: latency of each policy across cache sizes."""
+    points: list[AllocationPoint] = []
+    for size in cache_sizes:
+        size = min(size, scenario.dataset.num_classes)
+        memory_bytes = None
+        for policy in ("lru", "fifo", "rand"):
+            runner = ReplacementPolicyCache(
+                fresh_scenario(scenario),
+                policy=policy,
+                cache_size=size,
+                theta=theta,
+            )
+            memory_bytes = runner.memory_bytes()
+            summary = runner.run(rounds, warmup_rounds=warmup).summary()
+            points.append(
+                AllocationPoint(
+                    policy=policy.upper(),
+                    cache_size=size,
+                    latency_ms=summary.avg_latency_ms,
+                    accuracy_pct=100 * summary.accuracy,
+                    hit_ratio_pct=100 * summary.hit_ratio,
+                )
+            )
+        assert memory_bytes is not None
+        aca = CoCaRunner(
+            fresh_scenario(scenario),
+            config=CoCaConfig(theta=theta),
+            budget_bytes=memory_bytes,
+        )
+        summary = aca.run(rounds, warmup_rounds=warmup).summary()
+        points.append(
+            AllocationPoint(
+                policy="ACA",
+                cache_size=size,
+                latency_ms=summary.avg_latency_ms,
+                accuracy_pct=100 * summary.accuracy,
+                hit_ratio_pct=100 * summary.hit_ratio,
+            )
+        )
+    return points
+
+
+def format_allocation_table(points: list[AllocationPoint], title: str) -> str:
+    lines = [title]
+    sizes = sorted({p.cache_size for p in points})
+    policies = list(dict.fromkeys(p.policy for p in points))
+    header = f"{'Policy':8s}" + "".join(f" | size={s:<3d} lat(ms)" for s in sizes)
+    lines.append(header)
+    lines.append("-" * len(header))
+    index = {(p.policy, p.cache_size): p for p in points}
+    for policy in policies:
+        cells = []
+        for size in sizes:
+            p = index[(policy, size)]
+            cells.append(f" | {p.latency_ms:14.2f}")
+        lines.append(f"{policy:8s}" + "".join(cells))
+    return "\n".join(lines)

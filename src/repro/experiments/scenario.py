@@ -1,0 +1,133 @@
+"""Shared experiment scenario: identical workloads for every method.
+
+A :class:`Scenario` captures one evaluation setting (dataset, model,
+client count, non-IID level, long-tail shape, seed) and deterministically
+builds the model substrate, the per-client class distributions and the
+per-client streams.  CoCa and every baseline are run against scenarios
+built from the *same* seed, so they see byte-identical feature geometry
+and (given the same draw order) statistically identical streams — the
+comparisons in the benchmark tables are therefore apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.datasets import DatasetSpec
+from repro.data.partition import apply_longtail, dirichlet_partition
+from repro.data.stream import StreamGenerator
+from repro.models.base import SimulatedModel
+from repro.models.zoo import build_model
+
+
+@dataclass
+class Scenario:
+    """One fully specified evaluation setting.
+
+    Attributes:
+        dataset: dataset spec (class count, locality, difficulty).
+        model_name: zoo model to deploy.
+        num_clients: participating edge clients.
+        non_iid_level: the paper's ``p`` (0 = IID).
+        longtail_rho: imbalance ratio (1 = uniform).
+        seed: master seed; all randomness derives from it.
+        client_drift_scale: per-client feature drift (``None`` = zoo
+            default for the client count).
+        working_set_size: stream working-set size (classes simultaneously
+            "in view"); ``None`` disables the working set.
+    """
+
+    dataset: DatasetSpec
+    model_name: str = "resnet101"
+    num_clients: int = 10
+    non_iid_level: float = 0.0
+    longtail_rho: float = 1.0
+    seed: int = 0
+    client_drift_scale: float | None = None
+    working_set_size: int | None = 10
+
+    _model: SimulatedModel | None = field(default=None, repr=False)
+    _distributions: np.ndarray | None = field(default=None, repr=False)
+    _client_seeds: list | None = field(default=None, repr=False)
+    _server_seed: object = field(default=None, repr=False)
+
+    def _materialize(self) -> None:
+        if self._model is not None:
+            return
+        root = np.random.SeedSequence(self.seed)
+        geometry_seed, partition_seed, server_seed, *client_seeds = root.spawn(
+            3 + self.num_clients
+        )
+        self._server_seed = server_seed
+        self._client_seeds = client_seeds
+        self._model = build_model(
+            self.model_name,
+            self.dataset,
+            num_clients=self.num_clients,
+            seed=int(geometry_seed.generate_state(1)[0]),
+            client_drift_scale=self.client_drift_scale,
+        )
+        partition_rng = np.random.default_rng(partition_seed)
+        distributions = dirichlet_partition(
+            self.dataset.num_classes,
+            self.num_clients,
+            self.non_iid_level,
+            partition_rng,
+        )
+        if self.longtail_rho > 1.0:
+            distributions = np.stack(
+                [
+                    apply_longtail(dist, self.longtail_rho, partition_rng)
+                    for dist in distributions
+                ]
+            )
+        self._distributions = distributions
+
+    @property
+    def model(self) -> SimulatedModel:
+        """The shared simulated model (built lazily, cached)."""
+        self._materialize()
+        assert self._model is not None
+        return self._model
+
+    @property
+    def distributions(self) -> np.ndarray:
+        """Per-client class distributions, shape (num_clients, I)."""
+        self._materialize()
+        assert self._distributions is not None
+        return self._distributions.copy()
+
+    def server_rng(self) -> np.random.Generator:
+        """Generator for server-side calibration (shared dataset)."""
+        self._materialize()
+        return np.random.default_rng(self._server_seed)
+
+    def client_rng(self, client_id: int) -> np.random.Generator:
+        """Fresh generator for one client (same sequence every call)."""
+        self._materialize()
+        assert self._client_seeds is not None
+        if not 0 <= client_id < self.num_clients:
+            raise IndexError(f"client_id {client_id} out of range")
+        return np.random.default_rng(self._client_seeds[client_id])
+
+    def make_stream(
+        self, client_id: int, rng: np.random.Generator
+    ) -> StreamGenerator:
+        """Build client ``client_id``'s stream on the given generator.
+
+        The stream and the client's feature sampling share one generator
+        (as in :class:`repro.core.framework.CoCaFramework`), so pass the
+        generator returned by :meth:`client_rng` and reuse it for feature
+        draws.
+        """
+        self._materialize()
+        assert self._distributions is not None
+        return StreamGenerator(
+            class_distribution=self._distributions[client_id],
+            mean_run_length=self.dataset.mean_run_length,
+            rng=rng,
+            base_difficulty=self.dataset.difficulty,
+            working_set_size=self.working_set_size,
+        )

@@ -1,0 +1,6 @@
+"""LSH substrate for the FoggyCache baseline: A-LSH index + H-kNN voting."""
+
+from repro.lsh.alsh import AdaptiveLSH
+from repro.lsh.hknn import KnnVote, homogenized_knn
+
+__all__ = ["AdaptiveLSH", "KnnVote", "homogenized_knn"]

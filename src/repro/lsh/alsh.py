@@ -1,0 +1,132 @@
+"""Adaptive locality-sensitive hashing (A-LSH), after FoggyCache.
+
+FoggyCache (Guo et al., MobiCom'18) organizes cached feature vectors with
+an LSH variant that *adapts the bucket granularity to the data density*:
+when a bucket overflows, its resolution is increased locally by extending
+the hash with additional hyperplanes, keeping lookup candidate lists short
+without global rehashing.
+
+This implementation uses signed random projections (hyperplane LSH, the
+natural choice for cosine similarity): a key is the sign pattern of the
+vector against ``base_bits`` hyperplanes; buckets exceeding
+``max_bucket_size`` are split by locally extending the pattern with
+reserve hyperplanes, recursively, up to ``max_bits``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AdaptiveLSH:
+    """Cosine LSH index with density-adaptive bucket splitting.
+
+    Args:
+        dim: dimensionality of indexed vectors.
+        rng: generator for the (fixed) random hyperplanes.
+        base_bits: initial hash length.
+        max_bits: maximum hash length after local splits.
+        max_bucket_size: a bucket larger than this is split (if bits
+            remain) before further insertions.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        rng: np.random.Generator,
+        base_bits: int = 6,
+        max_bits: int = 14,
+        max_bucket_size: int = 24,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if not 1 <= base_bits <= max_bits:
+            raise ValueError("need 1 <= base_bits <= max_bits")
+        if max_bucket_size < 1:
+            raise ValueError("max_bucket_size must be >= 1")
+        self.dim = dim
+        self.base_bits = base_bits
+        self.max_bits = max_bits
+        self.max_bucket_size = max_bucket_size
+        self._planes = rng.standard_normal((max_bits, dim))
+        # bucket key: tuple of sign bits (variable length >= base_bits).
+        # Keys in _split are interior trie nodes: their contents moved to
+        # longer-key children and nothing may be stored there again.
+        self._buckets: dict[tuple[int, ...], list[int]] = {}
+        self._split: set[tuple[int, ...]] = set()
+        self._vectors: list[np.ndarray] = []
+        self._alive: list[bool] = []
+
+    def __len__(self) -> int:
+        return sum(self._alive)
+
+    def _signs(self, vector: np.ndarray, bits: int) -> tuple[int, ...]:
+        return tuple((self._planes[:bits] @ vector > 0).astype(int))
+
+    def _locate_bucket(self, vector: np.ndarray) -> tuple[int, ...]:
+        """Find the leaf bucket key a vector belongs to.
+
+        Descends through split (interior) nodes; the returned key is never
+        a split node, so inserts cannot resurrect a split parent.
+        """
+        bits = self.base_bits
+        key = self._signs(vector, bits)
+        while key in self._split and bits < self.max_bits:
+            bits += 1
+            key = self._signs(vector, bits)
+        return key
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Index a vector; returns its id (for deletion)."""
+        vec = np.asarray(vector, dtype=float)
+        if vec.shape != (self.dim,):
+            raise ValueError(f"vector shape {vec.shape} != ({self.dim},)")
+        item_id = len(self._vectors)
+        self._vectors.append(vec.copy())
+        self._alive.append(True)
+        key = self._locate_bucket(vec)
+        bucket = self._buckets.setdefault(key, [])
+        bucket.append(item_id)
+        self._maybe_split(key)
+        return item_id
+
+    def delete(self, item_id: int) -> None:
+        """Remove a vector by id (lazy: purged from its bucket on split/query)."""
+        if not 0 <= item_id < len(self._alive):
+            raise KeyError(f"unknown item id {item_id}")
+        self._alive[item_id] = False
+
+    def _maybe_split(self, key: tuple[int, ...]) -> None:
+        bucket = self._buckets.get(key, [])
+        live = [i for i in bucket if self._alive[i]]
+        if len(live) <= self.max_bucket_size or len(key) >= self.max_bits:
+            self._buckets[key] = live
+            return
+        bits = len(key) + 1
+        del self._buckets[key]
+        self._split.add(key)
+        for item in live:
+            child = self._signs(self._vectors[item], bits)
+            self._buckets.setdefault(child, []).append(item)
+        # Recurse in case one child still overflows.
+        for child_key in {self._signs(self._vectors[i], bits) for i in live}:
+            self._maybe_split(child_key)
+
+    def query(self, vector: np.ndarray) -> list[int]:
+        """Candidate ids in the query's bucket (dead entries purged)."""
+        vec = np.asarray(vector, dtype=float)
+        if vec.shape != (self.dim,):
+            raise ValueError(f"vector shape {vec.shape} != ({self.dim},)")
+        key = self._locate_bucket(vec)
+        bucket = self._buckets.get(key, [])
+        live = [i for i in bucket if self._alive[i]]
+        if len(live) != len(bucket):
+            self._buckets[key] = live
+        return list(live)
+
+    def vector(self, item_id: int) -> np.ndarray:
+        return self._vectors[item_id].copy()
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,114 @@
+"""Homogenized k-nearest-neighbour voting (H-kNN), after FoggyCache.
+
+Plain kNN over cached feature vectors returns the majority label of the k
+closest entries.  FoggyCache's *homogenized* variant additionally demands
+that the neighbourhood be dominated by one label, weighting votes by
+proximity — an approximate-reuse result is only returned when the cache
+is genuinely confident, otherwise the query falls through to the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KnnVote:
+    """Outcome of a homogenized kNN vote.
+
+    Attributes:
+        label: winning label (meaningful only when ``hit``).
+        homogeneity: proximity-weighted share of the winning label in the
+            neighbourhood, in [0, 1].
+        hit: whether homogeneity reached the decision threshold.
+        num_candidates: entries actually scanned.
+    """
+
+    label: int
+    homogeneity: float
+    hit: bool
+    num_candidates: int
+
+
+def homogenized_knn(
+    query: np.ndarray,
+    vectors: np.ndarray,
+    labels: np.ndarray,
+    k: int = 8,
+    threshold: float = 0.8,
+    center: np.ndarray | None = None,
+    min_similarity: float = -1.0,
+) -> KnnVote:
+    """Vote among the ``k`` nearest candidates (cosine distance).
+
+    Args:
+        query: query vector, shape (d,).
+        vectors: candidate matrix, shape (n, d); rows need not be unit
+            norm (they are normalized internally).
+        labels: candidate labels, shape (n,).
+        k: neighbourhood size.
+        threshold: minimum proximity-weighted majority share for a hit.
+        center: optional mean vector subtracted from the query and every
+            candidate before comparison.  FoggyCache standardizes raw
+            features the same way: pooled activations share a large common
+            component that otherwise swamps the class-specific geometry.
+        min_similarity: candidates whose (centered) cosine similarity to
+            the query falls below this are excluded before voting — the
+            distance criterion of FoggyCache's homogenization.  A
+            neighbourhood of merely-related entries (e.g. sibling classes)
+            is then too small to vote, instead of voting wrongly with
+            perfect homogeneity.
+
+    Returns:
+        A :class:`KnnVote`; with no candidates, a guaranteed miss.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    mat = np.asarray(vectors, dtype=float)
+    labs = np.asarray(labels)
+    if mat.ndim != 2 or mat.shape[0] != labs.shape[0]:
+        raise ValueError("vectors and labels disagree in length")
+    n = mat.shape[0]
+    if n < k:
+        # Too few candidates for a trustworthy vote: a 1-2 entry bucket is
+        # trivially "homogeneous" whatever its label, so require a full
+        # neighbourhood before reusing a result.
+        return KnnVote(label=-1, homogeneity=0.0, hit=False, num_candidates=int(n))
+
+    q = np.asarray(query, dtype=float)
+    if center is not None:
+        ctr = np.asarray(center, dtype=float)
+        q = q - ctr
+        mat = mat - ctr
+    qn = np.linalg.norm(q)
+    norms = np.linalg.norm(mat, axis=1)
+    valid = (norms > 0) & np.isfinite(norms)
+    if qn == 0 or not np.any(valid):
+        return KnnVote(label=-1, homogeneity=0.0, hit=False, num_candidates=int(n))
+    sims = np.full(n, -np.inf)
+    sims[valid] = (mat[valid] @ q) / (norms[valid] * qn)
+    close = sims >= min_similarity
+    if int(close.sum()) < k:
+        return KnnVote(label=-1, homogeneity=0.0, hit=False, num_candidates=int(n))
+    sims = np.where(close, sims, -np.inf)
+
+    top = np.argsort(sims)[-min(k, int(close.sum())):]
+    # Proximity weights: map cosine in [-1, 1] to a positive weight.
+    weights = np.clip(sims[top], 0.0, None) + 1e-9
+    vote_weights: dict[int, float] = {}
+    for idx, wgt in zip(top, weights):
+        lab = int(labs[idx])
+        vote_weights[lab] = vote_weights.get(lab, 0.0) + float(wgt)
+    winner = max(vote_weights, key=vote_weights.get)
+    total = sum(vote_weights.values())
+    homogeneity = vote_weights[winner] / total if total > 0 else 0.0
+    return KnnVote(
+        label=winner,
+        homogeneity=homogeneity,
+        hit=homogeneity >= threshold,
+        num_candidates=int(n),
+    )

@@ -1,0 +1,27 @@
+"""Model substrate: synthetic semantic features + calibrated latency profiles."""
+
+from repro.models.base import SimulatedModel
+from repro.models.feature import (
+    FeatureSpaceConfig,
+    SampleFeatures,
+    SemanticFeatureSpace,
+)
+from repro.models.profiles import (
+    LatencyProfile,
+    ResNetStagePlan,
+    build_profile,
+)
+from repro.models.zoo import DEFAULT_CLIENT_DRIFT, available_models, build_model
+
+__all__ = [
+    "DEFAULT_CLIENT_DRIFT",
+    "FeatureSpaceConfig",
+    "LatencyProfile",
+    "ResNetStagePlan",
+    "SampleFeatures",
+    "SemanticFeatureSpace",
+    "SimulatedModel",
+    "available_models",
+    "build_model",
+    "build_profile",
+]

@@ -1,0 +1,494 @@
+"""Synthetic semantic feature space replacing PyTorch activations.
+
+The class-based semantic caching mechanism (Sec. II-3) consumes, at every
+cache layer, a one-dimensional *semantic vector*: the global-average-pooled
+intermediate activation, L2-normalized, compared to cached per-class
+centroids by cosine similarity.  This module generates such vectors
+directly, reproducing the geometry the paper's mechanism relies on:
+
+* **Large common base, small isotropic spread.**  Pooled post-ReLU
+  activations of *any* input correlate strongly with each other, so the
+  cosine similarity between a sample and every cached centroid shares a
+  large common base; only a small class-dependent margin rides on top.
+  This is why the paper's discriminative scores are small numbers (Theta
+  ~ 0.01-0.04) and, crucially, why a sample of a class *not present in the
+  cache* produces a tight pack of similarities and a near-zero score —
+  absent classes fall through to the full model instead of erroneously
+  hitting.
+
+* **Directed confusion, not isotropic noise.**  Real model errors are
+  low-rank: a hard sample looks like a specific *confusable sibling*
+  class, consistently at every depth.  Each sample therefore interpolates
+  between its true class centroid and a per-sample confusion target from
+  the same class cluster, with weight ``w`` driven by the frame's
+  difficulty.  ``w > 0.5`` means the sample genuinely resembles the
+  sibling more — the classifier and the cache err together, which is what
+  bounds the cache's accuracy loss.
+
+* **Depth-increasing class energy.**  The class-specific fraction of the
+  representation grows with depth (shallow layers are dominated by the
+  shared component), so discriminative margins — and hit ratios — grow
+  with depth, while easy (low-``w``) samples already clear the threshold
+  at shallow layers: the paper's Fig. 1b behaviour.
+
+* **Per-client non-IID drift.**  A client's samples of class ``c``
+  cluster around a client-specific offset of the global centroid; global
+  cache updates (Sec. IV-D) exist precisely to track this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.stream import Frame
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=-1, keepdims=True)
+    if np.any(norms == 0):
+        raise ValueError("cannot normalize a zero vector")
+    return matrix / norms
+
+
+@dataclass(frozen=True)
+class FeatureSpaceConfig:
+    """Tunables of the synthetic feature space.
+
+    Attributes:
+        dim: dimensionality of semantic vectors (stands in for the pooled
+            channel count; fixed across layers for simplicity — memory
+            accounting uses the real per-layer channel counts instead).
+        class_energy_min / class_energy_max: fraction of centroid energy
+            on the class-specific direction at the first / last cache
+            layer (the remainder sits on the shared direction).
+        final_class_energy: class-energy of the final classifier
+            representation.
+        iso_noise_max / iso_noise_min / final_iso_noise: isotropic noise
+            scale at the first / last cache layer / final representation.
+            Kept small: it models pooling jitter, not sample hardness.
+        conf_base / conf_span / conf_mid / conf_sharp / conf_jitter: the
+            difficulty -> confusion-weight mapping is *two-mode*: the
+            frame is "hard" with probability
+            ``sigmoid((h - conf_mid) / conf_sharp)``; easy frames draw
+
+                w ~ conf_base + conf_jitter * U(0, 1)
+
+            (far below the classification boundary), hard frames draw
+
+                w ~ (boundary - 0.05) + conf_span * U(0, 1)
+
+            capped at ``w_cap``, where ``boundary = 1 / (1 + primary
+            share)`` is the weight at which the sample genuinely resembles
+            its primary confusion target more than its own class.  Real
+            streams are bimodal like this: most frames are unambiguous, a
+            minority are genuine confusions on which the model and the
+            cache err *together*.  ``conf_mid`` is the per-model accuracy
+            knob: the hard-mode probability integrated over the difficulty
+            distribution is (approximately) the model's error rate.
+        conf_primary_share: the confusion mass splits over *two* sibling
+            targets with this share on the primary one.  Splitting is what
+            keeps absent-class samples from erroneously hitting a cached
+            sibling: the top two cached siblings rise together, so the
+            discriminative score stays below threshold unless the sample
+            overwhelmingly resembles one specific sibling.
+        w_cap: upper clip for the confusion weight.
+        cluster_size: classes come in clusters of confusable siblings;
+            confusion targets are drawn within the cluster.
+        cluster_cos: energy fraction of the shared cluster direction in a
+            class direction (sibling boost).
+        smooth_frac / smooth_rank: energy fraction and rank of a low-rank
+            *similarity continuum* shared by all classes.  Real class
+            similarity matrices are smooth — every class has near and
+            mid-distance neighbours at every similarity level — so the
+            runner-up entry in any cache lookup is never far below the
+            top.  Without this term all non-sibling similarities would be
+            identical, and an absent class with exactly one cached sibling
+            would see that sibling as a clean outlier: a confident
+            erroneous hit.
+        client_drift_scale: magnitude of per-(client, class) centroid
+            offsets — the non-IID feature heterogeneity.
+        drift_shared_frac: fraction of drift *energy* shared by all
+            clients (the common environment shift — e.g. season, lighting,
+            camera generation).  The paper's premise is that spatially
+            proximate clients see similar data, which is exactly why
+            aggregating their updates into a global cache helps; the
+            shared component is what global updates can learn, the
+            individual remainder is irreducible per-client mismatch.
+        temperature: softmax temperature of the final classifier.
+    """
+
+    dim: int = 48
+    class_energy_min: float = 0.08
+    class_energy_max: float = 0.50
+    final_class_energy: float = 0.55
+    iso_noise_max: float = 0.24
+    iso_noise_min: float = 0.12
+    final_iso_noise: float = 0.10
+    conf_base: float = 0.02
+    conf_span: float = 0.38
+    conf_mid: float = 0.545
+    conf_sharp: float = 0.035
+    conf_jitter: float = 0.10
+    conf_primary_share: float = 0.65
+    w_cap: float = 0.90
+    cluster_size: int = 5
+    cluster_cos: float = 0.40
+    smooth_frac: float = 0.32
+    smooth_rank: int = 8
+    client_drift_scale: float = 0.0
+    drift_shared_frac: float = 0.7
+    temperature: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.dim < 4:
+            raise ValueError(f"dim must be >= 4, got {self.dim}")
+        if not 0.0 < self.class_energy_min <= self.class_energy_max <= 1.0:
+            raise ValueError("need 0 < class_energy_min <= class_energy_max <= 1")
+        if not 0.0 < self.final_class_energy <= 1.0:
+            raise ValueError("final_class_energy must be in (0, 1]")
+        if not 0.0 <= self.iso_noise_min <= self.iso_noise_max:
+            raise ValueError("need 0 <= iso_noise_min <= iso_noise_max")
+        if min(self.conf_base, self.conf_span, self.conf_jitter) < 0:
+            raise ValueError("confusion parameters must be non-negative")
+        if self.conf_sharp <= 0:
+            raise ValueError("conf_sharp must be positive")
+        if not 0.5 <= self.conf_primary_share <= 1.0:
+            raise ValueError("conf_primary_share must be in [0.5, 1]")
+        if not 0.5 <= self.w_cap <= 1.0:
+            raise ValueError("w_cap must be in [0.5, 1]")
+        if self.cluster_size < 1:
+            raise ValueError("cluster_size must be >= 1")
+        if not 0.0 <= self.cluster_cos < 1.0:
+            raise ValueError("cluster_cos must be in [0, 1)")
+        if not 0.0 <= self.smooth_frac < 1.0:
+            raise ValueError("smooth_frac must be in [0, 1)")
+        if self.cluster_cos + self.smooth_frac >= 1.0:
+            raise ValueError("cluster_cos + smooth_frac must leave unique energy")
+        if self.smooth_rank < 2:
+            raise ValueError("smooth_rank must be >= 2")
+        if not 0.0 <= self.drift_shared_frac <= 1.0:
+            raise ValueError("drift_shared_frac must be in [0, 1]")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+
+
+class SemanticFeatureSpace:
+    """Generates per-layer semantic vectors for (class, client, frame).
+
+    Args:
+        num_classes: classes in the task.
+        num_layers: number of cache layers; the *final* classifier
+            representation lives at index ``num_layers``.
+        num_clients: how many distinct client drift profiles to create.
+        config: feature-space tunables.
+        rng: generator for the static geometry (class directions, drifts).
+            Per-sample randomness uses a generator passed at sampling time
+            so streams can be re-drawn independently of the geometry.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        num_layers: int,
+        num_clients: int,
+        config: FeatureSpaceConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        if num_classes < 2:
+            raise ValueError(f"need >= 2 classes, got {num_classes}")
+        if num_layers < 1:
+            raise ValueError(f"need >= 1 cache layer, got {num_layers}")
+        if num_clients < 1:
+            raise ValueError(f"need >= 1 client, got {num_clients}")
+        self.num_classes = num_classes
+        self.num_layers = num_layers
+        self.num_clients = num_clients
+        self.config = config
+
+        d = config.dim
+        # Class-specific unit directions: a cluster component (siblings
+        # share it -> sibling cosine boost ~= cluster_cos), a smooth
+        # low-rank background (continuum of mid-level similarities) and a
+        # unique remainder.
+        unique = _normalize_rows(rng.standard_normal((num_classes, d)))
+        smooth_basis = rng.standard_normal((config.smooth_rank, d))
+        smooth = _normalize_rows(rng.standard_normal((num_classes, config.smooth_rank)) @ smooth_basis)
+        w_cluster = config.cluster_cos
+        w_smooth = config.smooth_frac
+        w_unique = 1.0 - w_cluster - w_smooth
+        if w_cluster > 0 and config.cluster_size > 1:
+            num_clusters = -(-num_classes // config.cluster_size)  # ceil
+            cluster_dirs = _normalize_rows(rng.standard_normal((num_clusters, d)))
+            assignments = np.arange(num_classes) // config.cluster_size
+            cluster_part = cluster_dirs[assignments]
+            self._cluster_of = assignments
+        else:
+            cluster_part = np.zeros((num_classes, d))
+            w_unique += w_cluster
+            w_cluster = 0.0
+            self._cluster_of = np.arange(num_classes)
+        mixed = (
+            np.sqrt(w_cluster) * cluster_part
+            + np.sqrt(w_smooth) * smooth
+            + np.sqrt(w_unique) * unique
+        )
+        self._class_dirs = _normalize_rows(mixed)
+        self._shared_dir = _normalize_rows(rng.standard_normal((1, d)))[0]
+        # Per-(client, class) drift directions: a per-class environment
+        # shift common to all clients plus an individual remainder.
+        env = _normalize_rows(rng.standard_normal((num_classes, d)))
+        indiv = _normalize_rows(rng.standard_normal((num_clients, num_classes, d)))
+        f = config.drift_shared_frac
+        self._drift_dirs = _normalize_rows(
+            np.sqrt(f) * env[None, :, :] + np.sqrt(1.0 - f) * indiv
+        )
+        # Sibling lists for confusion-target sampling.
+        self._siblings: list[np.ndarray] = []
+        for c in range(num_classes):
+            sibs = np.flatnonzero(
+                (self._cluster_of == self._cluster_of[c])
+                & (np.arange(num_classes) != c)
+            )
+            if sibs.size == 0:
+                sibs = np.setdiff1d(np.arange(num_classes), [c])
+            self._siblings.append(sibs)
+
+        # Depth schedules (cache layers 0..L-1 plus the final layer at L).
+        depth = np.linspace(0.0, 1.0, num_layers)
+        energy = (
+            config.class_energy_min
+            + (config.class_energy_max - config.class_energy_min) * depth
+        )
+        noise = (
+            config.iso_noise_max
+            - (config.iso_noise_max - config.iso_noise_min) * depth
+        )
+        self._class_energy = np.append(energy, config.final_class_energy)
+        self._iso_noise = np.append(noise, config.final_iso_noise)
+
+        # Precompute ideal (undrifted) centroids for all layers: (L+1, I, d).
+        self._centroids = np.stack(
+            [self._layer_centroids(j) for j in range(num_layers + 1)]
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def _layer_centroids(self, layer: int) -> np.ndarray:
+        a = self._class_energy[layer]
+        mix = np.sqrt(a) * self._class_dirs + np.sqrt(1.0 - a) * self._shared_dir
+        return _normalize_rows(mix)
+
+    @property
+    def final_layer(self) -> int:
+        """Index of the final classifier representation."""
+        return self.num_layers
+
+    def cluster_of(self, class_id: int) -> int:
+        """Confusion-cluster id of a class (siblings are confusable)."""
+        return int(self._cluster_of[class_id])
+
+    def siblings_of(self, class_id: int) -> np.ndarray:
+        """Classes a sample of ``class_id`` can be confused with."""
+        return self._siblings[class_id].copy()
+
+    def class_energy(self, layer: int) -> float:
+        """Class-specific energy fraction at a layer (grows with depth)."""
+        return float(self._class_energy[layer])
+
+    def noise_scale(self, layer: int) -> float:
+        """Isotropic noise scale at a layer (shrinks with depth)."""
+        return float(self._iso_noise[layer])
+
+    def centroid(self, class_id: int, layer: int) -> np.ndarray:
+        """Ideal global centroid of a class at a layer (unit norm).
+
+        This is what a cache initialized from the server's *global shared
+        dataset* contains before any global updates.
+        """
+        return self._centroids[layer, class_id].copy()
+
+    def centroid_matrix(self, layer: int) -> np.ndarray:
+        """All ideal class centroids at one layer: shape ``(I, dim)``."""
+        return self._centroids[layer].copy()
+
+    def client_centroid(self, client_id: int, class_id: int, layer: int) -> np.ndarray:
+        """Centre of *client* ``client_id``'s samples of a class at a layer.
+
+        Equals the global centroid displaced by the client's drift; this is
+        what a perfectly adapted cache entry would converge to for data
+        from this client alone.
+        """
+        base = self._centroids[layer, class_id]
+        drift = self._drift_dirs[client_id, class_id]
+        mixed = base + self.config.client_drift_scale * drift
+        return mixed / np.linalg.norm(mixed)
+
+    # ------------------------------------------------------------------
+    # Temporal evolution
+    # ------------------------------------------------------------------
+
+    def evolve_drift(self, magnitude: float, rng: np.random.Generator) -> None:
+        """Random-walk the per-client drift directions (contextual change).
+
+        The paper motivates periodic global updates with "capturing
+        contextual feature changes in the client": environments evolve
+        (lighting, season, traffic mix), so the centres of each client's
+        class clusters move over time.  Calling this between rounds steps
+        every drift direction by ``magnitude`` on the sphere; the shared
+        fraction of the step follows :attr:`FeatureSpaceConfig.drift_shared_frac`,
+        so global updates can keep tracking what is common.
+
+        The walk *accumulates*: drift vectors are not renormalized, so the
+        displacement from the initial (shared-dataset) state grows roughly
+        with the square root of the number of steps — a frozen cache goes
+        progressively stale, while updated caches keep tracking.
+
+        A no-op when ``client_drift_scale`` is 0 (there is no drift to
+        evolve).
+
+        Args:
+            magnitude: step size relative to the drift directions' initial
+                unit norm (e.g. 0.1 = a 10% perturbation per call).
+            rng: generator for the step.
+        """
+        if magnitude < 0:
+            raise ValueError(f"magnitude must be >= 0, got {magnitude}")
+        if magnitude == 0 or self.config.client_drift_scale == 0:
+            return
+        f = self.config.drift_shared_frac
+        shared_step = rng.standard_normal((1, self.num_classes, self.config.dim))
+        indiv_step = rng.standard_normal(self._drift_dirs.shape)
+        step = np.sqrt(f) * shared_step + np.sqrt(1.0 - f) * indiv_step
+        step /= np.linalg.norm(step, axis=-1, keepdims=True)
+        self._drift_dirs = self._drift_dirs + magnitude * step
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def confusion_weight(self, difficulty: float, rng: np.random.Generator) -> float:
+        """Draw the per-sample confusion weight ``w`` for a difficulty."""
+        cfg = self.config
+        hard_prob = 1.0 / (1.0 + np.exp(-(difficulty - cfg.conf_mid) / cfg.conf_sharp))
+        if rng.random() < hard_prob:
+            boundary = 1.0 / (1.0 + cfg.conf_primary_share)
+            w = (boundary - 0.05) + cfg.conf_span * float(rng.random())
+        else:
+            w = cfg.conf_base + cfg.conf_jitter * float(rng.random())
+        return float(np.clip(w, 0.0, cfg.w_cap))
+
+    def draw_sample(
+        self,
+        frame: Frame,
+        client_id: int,
+        rng: np.random.Generator,
+    ) -> "SampleFeatures":
+        """Materialize the per-layer semantic vectors of one frame.
+
+        The sample interpolates between its class centroid and a randomly
+        chosen confusion sibling with persistent weight ``w``, plus a small
+        fresh isotropic perturbation per layer.
+        """
+        if not 0 <= frame.class_id < self.num_classes:
+            raise ValueError(
+                f"frame class {frame.class_id} out of range [0, {self.num_classes})"
+            )
+        if not 0 <= client_id < self.num_clients:
+            raise ValueError(
+                f"client_id {client_id} out of range [0, {self.num_clients})"
+            )
+        cfg = self.config
+        d = cfg.dim
+        num_levels = self.num_layers + 1
+
+        siblings = self._siblings[frame.class_id]
+        if siblings.size >= 2:
+            chosen = rng.choice(siblings, size=2, replace=False)
+            primary, secondary = int(chosen[0]), int(chosen[1])
+        else:
+            primary = secondary = int(siblings[0])
+        w = self.confusion_weight(frame.difficulty, rng)
+        share = cfg.conf_primary_share
+
+        drift = cfg.client_drift_scale * self._drift_dirs[client_id]
+        own_centers = self._centroids[:, frame.class_id, :] + drift[frame.class_id]
+        primary_centers = self._centroids[:, primary, :] + drift[primary]
+        secondary_centers = self._centroids[:, secondary, :] + drift[secondary]
+        mixed = (
+            (1.0 - w) * own_centers
+            + w * share * primary_centers
+            + w * (1.0 - share) * secondary_centers
+        )  # (L+1, d)
+
+        noise = rng.standard_normal((num_levels, d)) / np.sqrt(d)
+        vectors = _normalize_rows(mixed + self._iso_noise[:, None] * noise)
+        return SampleFeatures(
+            frame=frame,
+            client_id=client_id,
+            vectors=vectors,
+            space=self,
+            confusion_target=primary,
+            confusion_weight=w,
+        )
+
+
+class SampleFeatures:
+    """Per-layer semantic vectors of one frame, plus final classification.
+
+    Instances are produced by :meth:`SemanticFeatureSpace.draw_sample`; the
+    inference engine reads vectors only at *active* cache layers, and the
+    final logits only on a cache miss — mirroring what a real blockwise
+    forward pass would compute.
+    """
+
+    def __init__(
+        self,
+        frame: Frame,
+        client_id: int,
+        vectors: np.ndarray,
+        space: SemanticFeatureSpace,
+        confusion_target: int,
+        confusion_weight: float,
+    ) -> None:
+        self.frame = frame
+        self.client_id = client_id
+        self.confusion_target = confusion_target
+        self.confusion_weight = confusion_weight
+        self._vectors = vectors
+        self._space = space
+        self._logits: np.ndarray | None = None
+
+    @property
+    def true_class(self) -> int:
+        return self.frame.class_id
+
+    def vector(self, layer: int) -> np.ndarray:
+        """Unit-norm semantic vector at cache layer ``layer``."""
+        if not 0 <= layer <= self._space.num_layers:
+            raise ValueError(
+                f"layer {layer} out of range [0, {self._space.num_layers}]"
+            )
+        return self._vectors[layer]
+
+    def final_logits(self) -> np.ndarray:
+        """Cosine logits of the full-model classifier (against global centroids)."""
+        if self._logits is None:
+            final = self._space.final_layer
+            centroids = self._space._centroids[final]
+            self._logits = centroids @ self._vectors[final]
+        return self._logits
+
+    def probabilities(self) -> np.ndarray:
+        """Softmax class probabilities of the full model (for the Delta rule)."""
+        logits = self.final_logits() / self._space.config.temperature
+        shifted = logits - logits.max()
+        exp = np.exp(shifted)
+        return exp / exp.sum()
+
+    def model_prediction(self) -> int:
+        """Class the full model outputs when no cache layer hits."""
+        return int(np.argmax(self.final_logits()))

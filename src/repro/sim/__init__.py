@@ -1,0 +1,26 @@
+"""Simulation substrate: virtual time, metric aggregation, server load.
+
+This package replaces the paper's physical testbed (Jetson TX2 clients, WiFi
+router, Docker Swarm + MPI) with deterministic models so that every
+experiment is reproducible on a laptop.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.sim.clock import Stopwatch, VirtualClock
+from repro.sim.metrics import (
+    InferenceRecord,
+    MetricsCollector,
+    MetricsSummary,
+    merge_summaries,
+)
+from repro.sim.network import ServerLoadModel
+
+__all__ = [
+    "InferenceRecord",
+    "MetricsCollector",
+    "MetricsSummary",
+    "ServerLoadModel",
+    "Stopwatch",
+    "VirtualClock",
+    "merge_summaries",
+]

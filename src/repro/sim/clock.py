@@ -1,0 +1,80 @@
+"""Virtual time for deterministic latency simulation.
+
+The paper measures wall-clock inference latency on NVIDIA Jetson TX2
+hardware.  This reproduction replaces the hardware with an additive latency
+model (see :mod:`repro.models.profiles`), so all "time" in the simulator is
+virtual: components charge costs in milliseconds to a :class:`VirtualClock`
+and experiments read accumulated totals from it.  Runs are therefore exactly
+reproducible and independent of the host machine's speed.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock measured in milliseconds.
+
+    The clock only moves forward via :meth:`advance`; it never observes host
+    time.  A simulation typically owns one clock per client so that per-client
+    latency accounting stays independent.
+    """
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise ValueError(f"start_ms must be >= 0, got {start_ms}")
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Move the clock forward by ``delta_ms`` and return the new time.
+
+        Raises:
+            ValueError: if ``delta_ms`` is negative (virtual time cannot
+                run backwards).
+        """
+        if delta_ms < 0:
+            raise ValueError(f"cannot advance clock by negative {delta_ms}")
+        self._now_ms += float(delta_ms)
+        return self._now_ms
+
+    def elapsed_since(self, t0_ms: float) -> float:
+        """Return virtual milliseconds elapsed since the timestamp ``t0_ms``."""
+        return self._now_ms - t0_ms
+
+    def reset(self, start_ms: float = 0.0) -> None:
+        """Rewind the clock to ``start_ms`` (for reusing a clock between runs)."""
+        if start_ms < 0:
+            raise ValueError(f"start_ms must be >= 0, got {start_ms}")
+        self._now_ms = float(start_ms)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now_ms={self._now_ms:.3f})"
+
+
+class Stopwatch:
+    """Measures a span of virtual time on a :class:`VirtualClock`.
+
+    Example:
+        >>> clock = VirtualClock()
+        >>> with Stopwatch(clock) as sw:
+        ...     _ = clock.advance(12.5)
+        >>> sw.elapsed_ms
+        12.5
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._start_ms: float | None = None
+        self.elapsed_ms: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start_ms = self._clock.now_ms
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start_ms is not None
+        self.elapsed_ms = self._clock.elapsed_since(self._start_ms)

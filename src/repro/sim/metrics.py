@@ -1,0 +1,168 @@
+"""Aggregation of per-inference results into the paper's two metrics.
+
+The evaluation section reports *average latency* (total inference time
+divided by total samples across all clients, Sec. VI-B) and *overall
+accuracy* (fraction of correctly classified samples across all clients).
+:class:`MetricsCollector` accumulates :class:`InferenceRecord` rows and
+derives those metrics plus the cache-specific diagnostics used by the
+motivation and threshold studies (hit ratio, hit accuracy, per-layer hit
+histograms).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class InferenceRecord:
+    """Outcome of a single inference on one frame.
+
+    Attributes:
+        true_class: ground-truth class of the frame.
+        predicted_class: class returned to the application.
+        latency_ms: end-to-end virtual latency charged for the frame.
+        hit_layer: index of the cache layer that served the result, or
+            ``None`` when the frame ran through the full model (cache miss
+            or cache-free execution).
+        client_id: identifier of the client that processed the frame.
+    """
+
+    true_class: int
+    predicted_class: int
+    latency_ms: float
+    hit_layer: int | None = None
+    client_id: int = 0
+
+    @property
+    def correct(self) -> bool:
+        return self.true_class == self.predicted_class
+
+    @property
+    def hit(self) -> bool:
+        return self.hit_layer is not None
+
+
+@dataclass
+class MetricsSummary:
+    """Aggregated metrics over a set of inference records."""
+
+    num_samples: int
+    avg_latency_ms: float
+    accuracy: float
+    hit_ratio: float
+    hit_accuracy: float
+    miss_accuracy: float
+    per_layer_hits: dict[int, int] = field(default_factory=dict)
+    per_layer_hit_accuracy: dict[int, float] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, float]:
+        """Flat representation used by the benchmark table printers."""
+        return {
+            "samples": self.num_samples,
+            "latency_ms": round(self.avg_latency_ms, 2),
+            "accuracy_pct": round(100.0 * self.accuracy, 2),
+            "hit_ratio_pct": round(100.0 * self.hit_ratio, 2),
+            "hit_accuracy_pct": round(100.0 * self.hit_accuracy, 2),
+        }
+
+
+class MetricsCollector:
+    """Accumulates inference records and produces a :class:`MetricsSummary`."""
+
+    def __init__(self) -> None:
+        self._records: list[InferenceRecord] = []
+
+    def record(self, record: InferenceRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: list[InferenceRecord]) -> None:
+        self._records.extend(records)
+
+    @property
+    def records(self) -> list[InferenceRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def summary(self) -> MetricsSummary:
+        """Aggregate all recorded inferences.
+
+        Raises:
+            ValueError: if no records have been collected, because every
+                reported metric would otherwise be undefined.
+        """
+        if not self._records:
+            raise ValueError("cannot summarize an empty MetricsCollector")
+
+        n = len(self._records)
+        total_latency = sum(r.latency_ms for r in self._records)
+        correct = sum(1 for r in self._records if r.correct)
+        hits = [r for r in self._records if r.hit]
+        misses = [r for r in self._records if not r.hit]
+
+        hit_correct = sum(1 for r in hits if r.correct)
+        miss_correct = sum(1 for r in misses if r.correct)
+
+        layer_hits = Counter(r.hit_layer for r in hits)
+        layer_correct = Counter(r.hit_layer for r in hits if r.correct)
+        per_layer_hits = {int(j): int(c) for j, c in sorted(layer_hits.items())}
+        per_layer_hit_accuracy = {
+            int(j): layer_correct[j] / layer_hits[j] for j in sorted(layer_hits)
+        }
+
+        return MetricsSummary(
+            num_samples=n,
+            avg_latency_ms=total_latency / n,
+            accuracy=correct / n,
+            hit_ratio=len(hits) / n,
+            hit_accuracy=hit_correct / len(hits) if hits else 0.0,
+            miss_accuracy=miss_correct / len(misses) if misses else 0.0,
+            per_layer_hits=per_layer_hits,
+            per_layer_hit_accuracy=per_layer_hit_accuracy,
+        )
+
+    def summary_for_client(self, client_id: int) -> MetricsSummary:
+        """Aggregate only the records produced by one client."""
+        sub = MetricsCollector()
+        sub.extend([r for r in self._records if r.client_id == client_id])
+        return sub.summary()
+
+
+def merge_summaries(summaries: list[MetricsSummary]) -> MetricsSummary:
+    """Sample-weighted merge of per-client summaries (Eq. 8 of the paper).
+
+    The paper defines global average latency as the sample-count-weighted
+    mean of per-client averages; accuracy and hit statistics merge the same
+    way.
+    """
+    if not summaries:
+        raise ValueError("cannot merge an empty list of summaries")
+    total = sum(s.num_samples for s in summaries)
+    if total == 0:
+        raise ValueError("summaries contain no samples")
+
+    def weighted(attr: str) -> float:
+        return sum(getattr(s, attr) * s.num_samples for s in summaries) / total
+
+    hits_total = sum(s.hit_ratio * s.num_samples for s in summaries)
+    hit_acc = (
+        sum(s.hit_accuracy * s.hit_ratio * s.num_samples for s in summaries) / hits_total
+        if hits_total > 0
+        else 0.0
+    )
+    merged_layer_hits: Counter = Counter()
+    for s in summaries:
+        merged_layer_hits.update(s.per_layer_hits)
+    return MetricsSummary(
+        num_samples=total,
+        avg_latency_ms=weighted("avg_latency_ms"),
+        accuracy=weighted("accuracy"),
+        hit_ratio=weighted("hit_ratio"),
+        hit_accuracy=hit_acc,
+        miss_accuracy=weighted("miss_accuracy"),
+        per_layer_hits=dict(merged_layer_hits),
+        per_layer_hit_accuracy={},
+    )

@@ -1,0 +1,235 @@
+"""Unit + integration tests for the baseline pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CoCaRunner,
+    EdgeOnly,
+    FoggyCache,
+    LearnedCache,
+    ReplacementPolicyCache,
+    SMTM,
+    top2_gap,
+)
+from repro.baselines.foggy_cache import LshLruCache
+from repro.core.config import CoCaConfig
+from repro.data.datasets import get_dataset
+from repro.experiments.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return Scenario(
+        dataset=get_dataset("ucf101", 20),
+        model_name="resnet50",
+        num_clients=2,
+        non_iid_level=1.0,
+        seed=21,
+    )
+
+
+def _fresh(scenario, **overrides):
+    from dataclasses import replace
+
+    return replace(
+        scenario,
+        _model=None,
+        _distributions=None,
+        _client_seeds=None,
+        _server_seed=None,
+        **overrides,
+    )
+
+
+class TestTop2Gap:
+    def test_gap_of_sorted_vector(self):
+        assert top2_gap(np.array([0.1, 0.6, 0.3])) == pytest.approx(0.3)
+
+    def test_single_class(self):
+        assert top2_gap(np.array([1.0])) == 1.0
+
+
+class TestEdgeOnly:
+    def test_latency_is_constant_full_compute(self, small_scenario):
+        runner = EdgeOnly(_fresh(small_scenario), frames_per_round=40)
+        metrics = runner.run(1)
+        summary = metrics.summary()
+        assert summary.avg_latency_ms == pytest.approx(
+            runner.model.total_compute_ms
+        )
+        assert summary.hit_ratio == 0.0
+        assert summary.num_samples == 2 * 40
+
+    def test_warmup_rounds_excluded(self, small_scenario):
+        runner = EdgeOnly(_fresh(small_scenario), frames_per_round=30)
+        metrics = runner.run(1, warmup_rounds=1)
+        assert metrics.summary().num_samples == 2 * 30
+
+    def test_invalid_args(self, small_scenario):
+        with pytest.raises(ValueError):
+            EdgeOnly(_fresh(small_scenario), frames_per_round=0)
+        runner = EdgeOnly(_fresh(small_scenario))
+        with pytest.raises(ValueError):
+            runner.run(0)
+
+
+class TestLearnedCache:
+    def test_exits_reduce_latency(self, small_scenario):
+        runner = LearnedCache(_fresh(small_scenario), frames_per_round=60)
+        summary = runner.run(1).summary()
+        assert summary.hit_ratio > 0.1
+        # Early exits skip compute but pay head + retraining overheads.
+        assert summary.avg_latency_ms < runner.model.total_compute_ms + 5
+
+    def test_strict_margin_blocks_exits(self, small_scenario):
+        runner = LearnedCache(
+            _fresh(small_scenario), exit_margin=10.0, frames_per_round=40
+        )
+        summary = runner.run(1).summary()
+        assert summary.hit_ratio == 0.0
+        # Pays full compute + per-exit heads + retraining amortization.
+        floor = runner.model.total_compute_ms
+        assert summary.avg_latency_ms > floor
+
+    def test_exit_layers_skip_shallow_quarter(self, small_scenario):
+        runner = LearnedCache(_fresh(small_scenario))
+        L = runner.model.num_cache_layers
+        assert min(runner.exit_layers) >= L // 4
+
+    def test_validation(self, small_scenario):
+        with pytest.raises(ValueError):
+            LearnedCache(_fresh(small_scenario), num_exits=0)
+
+
+class TestFoggyCache:
+    def test_reuse_hits_after_warm_cache(self, small_scenario):
+        runner = FoggyCache(_fresh(small_scenario), frames_per_round=80)
+        summary = runner.run(1, warmup_rounds=1).summary()
+        assert summary.hit_ratio > 0.2
+        assert summary.avg_latency_ms < runner.model.total_compute_ms
+
+    def test_hits_are_mostly_correct(self, small_scenario):
+        runner = FoggyCache(_fresh(small_scenario), frames_per_round=80)
+        summary = runner.run(1, warmup_rounds=1).summary()
+        assert summary.hit_accuracy > 0.8
+
+    def test_server_cache_fills_after_round(self, small_scenario):
+        runner = FoggyCache(_fresh(small_scenario), frames_per_round=50)
+        runner.run(1)
+        assert len(runner._server) > 0
+
+
+class TestLshLruCache:
+    def test_capacity_enforced(self, rng):
+        store = LshLruCache(capacity=5, dim=8, rng=rng)
+        for i in range(12):
+            vec = np.zeros(8)
+            vec[i % 8] = 1.0
+            store.insert(vec, i)
+        assert len(store) == 5
+
+    def test_lru_eviction_order(self, rng):
+        store = LshLruCache(capacity=2, dim=4, rng=rng)
+        store.insert(np.eye(4)[0], 0)
+        store.insert(np.eye(4)[1], 1)
+        store.insert(np.eye(4)[2], 2)  # evicts label 0 (oldest)
+        _, labels, _ = store.candidates(np.eye(4)[0])
+        assert 0 not in labels
+
+    def test_capacity_validation(self, rng):
+        with pytest.raises(ValueError):
+            LshLruCache(capacity=0, dim=4, rng=rng)
+
+
+class TestSMTM:
+    def test_caching_reduces_latency(self, small_scenario):
+        runner = SMTM(_fresh(small_scenario), frames_per_round=60)
+        summary = runner.run(1, warmup_rounds=1).summary()
+        assert summary.hit_ratio > 0.3
+        assert summary.avg_latency_ms < runner.model.total_compute_ms
+
+    def test_layers_are_static(self, small_scenario):
+        runner = SMTM(_fresh(small_scenario), frames_per_round=40)
+        layers_before = list(runner.active_layers)
+        runner.run(1)
+        assert runner.active_layers == layers_before
+        for engine in runner._engines:
+            assert engine.cache.active_layers == layers_before
+
+    def test_local_adaptation_changes_centroids(self, small_scenario):
+        runner = SMTM(_fresh(small_scenario), frames_per_round=80)
+        layer = runner.active_layers[0]
+        before = runner._centroids[layer].copy()
+        runner.run(1)
+        assert not np.allclose(runner._centroids[layer], before)
+
+    def test_clients_do_not_share_state(self, small_scenario):
+        runner = SMTM(_fresh(small_scenario), frames_per_round=80)
+        runner.run(1)
+        layer = runner.active_layers[0]
+        assert not np.allclose(
+            runner._centroids[layer][0], runner._centroids[layer][1]
+        )
+
+
+class TestReplacementPolicies:
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "rand"])
+    def test_policies_run_and_cache(self, small_scenario, policy):
+        runner = ReplacementPolicyCache(
+            _fresh(small_scenario), policy=policy, cache_size=10, frames_per_round=50
+        )
+        summary = runner.run(1).summary()
+        assert summary.num_samples == 2 * 50
+        assert summary.hit_ratio > 0.0
+
+    def test_resident_set_bounded(self, small_scenario):
+        runner = ReplacementPolicyCache(
+            _fresh(small_scenario), policy="lru", cache_size=6, frames_per_round=60
+        )
+        runner.run(1)
+        for resident in runner._resident:
+            assert len(resident) <= 6
+
+    def test_unknown_policy_rejected(self, small_scenario):
+        with pytest.raises(ValueError):
+            ReplacementPolicyCache(_fresh(small_scenario), policy="mru")
+
+    def test_memory_accounting(self, small_scenario):
+        runner = ReplacementPolicyCache(
+            _fresh(small_scenario), policy="fifo", cache_size=10
+        )
+        expected = 10 * sum(
+            runner.model.profile.entry_size_bytes(j) for j in runner.active_layers
+        )
+        assert runner.memory_bytes() == expected
+
+
+class TestCoCaRunner:
+    def test_runs_under_common_interface(self, small_scenario):
+        runner = CoCaRunner(
+            _fresh(small_scenario), config=CoCaConfig(theta=0.05, frames_per_round=60)
+        )
+        summary = runner.run(1, warmup_rounds=1).summary()
+        assert summary.num_samples == 2 * 60
+        assert summary.avg_latency_ms < runner.model.total_compute_ms
+
+    def test_budget_override(self, small_scenario):
+        runner = CoCaRunner(
+            _fresh(small_scenario),
+            config=CoCaConfig(theta=0.05, frames_per_round=40),
+            budget_bytes=12345,
+        )
+        assert all(
+            c.cache_budget_bytes == 12345 for c in runner.framework.clients
+        )
+
+
+class TestFairComparison:
+    def test_all_methods_see_identical_model(self, small_scenario):
+        """Same scenario seed => same feature geometry for every method."""
+        edge = EdgeOnly(_fresh(small_scenario))
+        smtm = SMTM(_fresh(small_scenario))
+        a = edge.model.ideal_centroids(3)
+        b = smtm.model.ideal_centroids(3)
+        assert np.allclose(a, b)

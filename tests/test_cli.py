@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.model == "resnet101"
+        assert args.clients == 4
+        assert args.methods == "edge,coca"
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--model", "alexnet"])
+
+    def test_sweep_parses_thetas(self):
+        args = build_parser().parse_args(["sweep-theta", "--thetas", "0.01,0.02"])
+        assert args.thetas == "0.01,0.02"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet101" in out
+        assert "ucf101" in out
+
+    def test_compare_unknown_method_fails(self, capsys):
+        code = main(
+            ["compare", "--methods", "edge,bogus", "--classes", "10",
+             "--model", "resnet50", "--clients", "2", "--rounds", "1"]
+        )
+        assert code == 2
+
+    def test_compare_runs_edge_only(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--methods", "edge",
+                "--dataset", "ucf101",
+                "--classes", "10",
+                "--model", "resnet50",
+                "--clients", "2",
+                "--rounds", "1",
+                "--warmup", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Edge-Only" in out
+        assert "30.50ms" in out
+
+    def test_sweep_theta_runs(self, capsys):
+        code = main(
+            [
+                "sweep-theta",
+                "--dataset", "ucf101",
+                "--classes", "10",
+                "--model", "resnet50",
+                "--clients", "2",
+                "--rounds", "1",
+                "--warmup", "0",
+                "--thetas", "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.050" in out

@@ -1,0 +1,215 @@
+"""Unit + property tests for the semantic cache (Eq. 1 / Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import SemanticCache
+
+
+def _unit(v):
+    v = np.asarray(v, dtype=float)
+    return v / np.linalg.norm(v)
+
+
+def _orthogonal_entries(num, dim=8):
+    """num orthonormal centroids."""
+    basis = np.eye(dim)[:num]
+    return np.arange(num), basis
+
+
+class TestCacheContent:
+    def test_set_and_read_entries(self):
+        cache = SemanticCache(5)
+        ids, mat = _orthogonal_entries(3)
+        cache.set_layer_entries(2, ids, mat)
+        out_ids, out_mat = cache.entries_at(2)
+        assert list(out_ids) == [0, 1, 2]
+        assert np.allclose(out_mat, mat)
+        assert cache.num_entries(2) == 3
+        assert cache.active_layers == [2]
+
+    def test_entries_are_normalized_on_insert(self):
+        cache = SemanticCache(3)
+        cache.set_layer_entries(0, np.array([0, 1]), np.array([[2.0, 0.0], [0.0, 5.0]]))
+        _, mat = cache.entries_at(0)
+        assert np.allclose(np.linalg.norm(mat, axis=1), 1.0)
+
+    def test_replace_layer(self):
+        cache = SemanticCache(5)
+        ids, mat = _orthogonal_entries(3)
+        cache.set_layer_entries(0, ids, mat)
+        cache.set_layer_entries(0, ids[:2], mat[:2])
+        assert cache.num_entries(0) == 2
+
+    def test_empty_set_removes_layer(self):
+        cache = SemanticCache(5)
+        ids, mat = _orthogonal_entries(2, dim=4)
+        cache.set_layer_entries(1, ids, mat)
+        cache.set_layer_entries(1, np.array([], dtype=int), np.zeros((0, 4)))
+        assert cache.active_layers == []
+
+    def test_duplicate_ids_rejected(self):
+        cache = SemanticCache(5)
+        with pytest.raises(ValueError):
+            cache.set_layer_entries(0, np.array([1, 1]), np.eye(2))
+
+    def test_out_of_range_ids_rejected(self):
+        cache = SemanticCache(2)
+        with pytest.raises(ValueError):
+            cache.set_layer_entries(0, np.array([0, 5]), np.eye(2))
+
+    def test_zero_centroid_rejected(self):
+        cache = SemanticCache(3)
+        with pytest.raises(ValueError):
+            cache.set_layer_entries(0, np.array([0]), np.zeros((1, 4)))
+
+    def test_total_entries_and_size(self):
+        cache = SemanticCache(6)
+        ids, mat = _orthogonal_entries(3)
+        cache.set_layer_entries(0, ids, mat)
+        cache.set_layer_entries(4, ids[:2], mat[:2])
+        assert cache.total_entries == 5
+        assert cache.size_bytes(lambda layer: 10) == 50
+
+    def test_classes_at(self):
+        cache = SemanticCache(6)
+        ids, mat = _orthogonal_entries(3)
+        cache.set_layer_entries(1, ids, mat)
+        assert cache.classes_at(1) == {0, 1, 2}
+        assert cache.classes_at(9) == set()
+
+    def test_clear(self):
+        cache = SemanticCache(4)
+        ids, mat = _orthogonal_entries(2)
+        cache.set_layer_entries(0, ids, mat)
+        cache.clear()
+        assert cache.active_layers == []
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SemanticCache(0)
+        with pytest.raises(ValueError):
+            SemanticCache(5, alpha=1.5)
+        with pytest.raises(ValueError):
+            SemanticCache(5, theta=-0.1)
+
+
+class TestLookup:
+    def test_query_matching_entry_hits(self):
+        cache = SemanticCache(4, theta=0.05)
+        ids, mat = _orthogonal_entries(4)
+        cache.set_layer_entries(0, ids, mat)
+        session = cache.start_session()
+        probe = session.probe(0, mat[2])
+        assert probe.hit
+        assert probe.top_class == 2
+        assert probe.score > 1.0  # orthogonal runner-up => huge margin
+
+    def test_ambiguous_query_misses(self):
+        cache = SemanticCache(4, theta=0.05)
+        ids, mat = _orthogonal_entries(2)
+        cache.set_layer_entries(0, ids, mat)
+        query = _unit(mat[0] + mat[1])  # equidistant
+        probe = cache.start_session().probe(0, query)
+        assert not probe.hit
+        assert probe.score == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_entry_layer_never_hits(self):
+        cache = SemanticCache(4, theta=0.0)
+        cache.set_layer_entries(0, np.array([1]), np.eye(8)[:1])
+        probe = cache.start_session().probe(0, np.eye(8)[0])
+        assert not probe.hit
+        assert probe.top_class == 1
+        assert probe.second_class == -1
+
+    def test_eq1_accumulation(self):
+        """A[i, j] = C[i, j] + alpha * A[i, j-1] across probed layers."""
+        alpha = 0.5
+        cache = SemanticCache(3, alpha=alpha, theta=np.inf)
+        dim = 6
+        mat = np.eye(dim)[:2]
+        ids = np.array([0, 1])
+        cache.set_layer_entries(0, ids, mat)
+        cache.set_layer_entries(1, ids, mat)
+        query = _unit([3.0, 4.0, 0, 0, 0, 0])  # cos 0.6 / 0.8 to the entries
+        session = cache.start_session()
+        session.probe(0, query)
+        assert session.accumulated_score(0) == pytest.approx(0.6)
+        assert session.accumulated_score(1) == pytest.approx(0.8)
+        session.probe(1, query)
+        assert session.accumulated_score(0) == pytest.approx(0.6 + alpha * 0.6)
+        assert session.accumulated_score(1) == pytest.approx(0.8 + alpha * 0.8)
+
+    def test_eq2_score(self):
+        """D = (A_a - A_b) / A_b for the top-2 accumulated classes."""
+        cache = SemanticCache(3, theta=np.inf)
+        mat = np.eye(4)[:2]
+        cache.set_layer_entries(0, np.array([0, 1]), mat)
+        query = _unit([0.8, 0.6, 0, 0])
+        probe = cache.start_session().probe(0, query)
+        assert probe.top_class == 0
+        assert probe.second_class == 1
+        assert probe.score == pytest.approx((0.8 - 0.6) / 0.6)
+
+    def test_negative_best_never_hits(self):
+        cache = SemanticCache(3, theta=0.0)
+        mat = np.eye(4)[:2]
+        cache.set_layer_entries(0, np.array([0, 1]), mat)
+        probe = cache.start_session().probe(0, -_unit([1.0, 1.0, 0, 0]))
+        assert not probe.hit
+
+    def test_unknown_layer_rejected(self):
+        cache = SemanticCache(3)
+        with pytest.raises(KeyError):
+            cache.start_session().probe(0, np.ones(4))
+        with pytest.raises(KeyError):
+            cache.entries_at(0)
+
+    def test_dimension_mismatch_rejected(self):
+        cache = SemanticCache(3)
+        ids, mat = _orthogonal_entries(2, dim=8)
+        cache.set_layer_entries(0, ids, mat)
+        with pytest.raises(ValueError):
+            cache.start_session().probe(0, np.ones(5))
+
+    def test_sessions_are_independent(self):
+        cache = SemanticCache(3, theta=np.inf)
+        ids, mat = _orthogonal_entries(2)
+        cache.set_layer_entries(0, ids, mat)
+        s1 = cache.start_session()
+        s1.probe(0, mat[0])
+        s2 = cache.start_session()
+        assert s2.accumulated_score(0) == 0.0
+
+
+class TestLookupProperties:
+    @given(
+        theta=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_hit_implies_score_above_theta(self, theta, seed):
+        rng = np.random.default_rng(seed)
+        cache = SemanticCache(6, theta=theta)
+        mat = rng.standard_normal((4, 8))
+        mat /= np.linalg.norm(mat, axis=1, keepdims=True)
+        cache.set_layer_entries(0, np.arange(4), mat)
+        query = _unit(rng.standard_normal(8))
+        probe = cache.start_session().probe(0, query)
+        if probe.hit:
+            assert probe.score > theta
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_top_class_has_max_accumulated_score(self, seed):
+        rng = np.random.default_rng(seed)
+        cache = SemanticCache(5, theta=np.inf)
+        mat = rng.standard_normal((5, 8))
+        mat /= np.linalg.norm(mat, axis=1, keepdims=True)
+        cache.set_layer_entries(0, np.arange(5), mat)
+        session = cache.start_session()
+        probe = session.probe(0, _unit(rng.standard_normal(8)))
+        scores = [session.accumulated_score(i) for i in range(5)]
+        assert probe.top_class == int(np.argmax(scores))

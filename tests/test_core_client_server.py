@@ -1,0 +1,231 @@
+"""Unit tests for the CoCa client and server protocol pieces."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import CoCaClient
+from repro.core.config import CoCaConfig
+from repro.core.server import CoCaServer, GlobalCacheTable
+from repro.data.stream import StreamGenerator
+
+
+@pytest.fixture
+def config():
+    return CoCaConfig(theta=0.04, frames_per_round=60)
+
+
+@pytest.fixture
+def server(tiny_model, config, rng):
+    server = CoCaServer(tiny_model, config, freq_prior=10.0)
+    server.initialize_from_shared_dataset(rng, calibration_samples=150)
+    return server
+
+
+def _client(tiny_model, config, client_id=0, seed=5, budget=None):
+    rng = np.random.default_rng(seed)
+    stream = StreamGenerator(
+        class_distribution=np.full(8, 1 / 8),
+        mean_run_length=6.0,
+        rng=rng,
+        base_difficulty=0.3,
+    )
+    return CoCaClient(
+        client_id=client_id,
+        model=tiny_model,
+        stream=stream,
+        config=config,
+        rng=rng,
+        cache_budget_bytes=budget,
+    )
+
+
+class TestGlobalCacheTable:
+    def test_install_normalizes(self):
+        table = GlobalCacheTable(4, 3, 8)
+        table.install(1, 2, np.full(8, 2.0))
+        assert np.linalg.norm(table.entries[1, 2]) == pytest.approx(1.0)
+        assert table.filled[1, 2]
+
+    def test_install_rejects_zero(self):
+        table = GlobalCacheTable(4, 3, 8)
+        with pytest.raises(ValueError):
+            table.install(0, 0, np.zeros(8))
+
+    def test_eq4_weighted_merge(self):
+        """E = gamma * Phi/(Phi+phi) * E + phi/(Phi+phi) * U, normalized."""
+        table = GlobalCacheTable(2, 1, 4)
+        table.class_freq[:] = 30.0
+        old = np.array([1.0, 0.0, 0.0, 0.0])
+        new = np.array([0.0, 1.0, 0.0, 0.0])
+        table.install(0, 0, old)
+        table.merge_update(0, 0, new, local_freq=10.0, gamma=0.99)
+        expected = 0.99 * (30 / 40) * old + (10 / 40) * new
+        expected /= np.linalg.norm(expected)
+        assert np.allclose(table.entries[0, 0], expected)
+
+    def test_merge_with_zero_frequency_is_noop(self):
+        table = GlobalCacheTable(2, 1, 4)
+        table.install(0, 0, np.eye(4)[0])
+        before = table.entries[0, 0].copy()
+        table.merge_update(0, 0, np.eye(4)[1], local_freq=0.0, gamma=0.99)
+        assert np.allclose(table.entries[0, 0], before)
+
+    def test_merge_into_unfilled_installs(self):
+        table = GlobalCacheTable(2, 1, 4)
+        table.merge_update(1, 0, np.eye(4)[2], local_freq=5.0, gamma=0.99)
+        assert table.filled[1, 0]
+
+    def test_eq5_frequency_accumulation(self):
+        table = GlobalCacheTable(3, 1, 4)
+        table.add_frequencies(np.array([1.0, 2.0, 0.0]))
+        table.add_frequencies(np.array([0.5, 0.0, 1.0]))
+        assert np.allclose(table.class_freq, [1.5, 2.0, 1.0])
+
+    def test_frequency_validation(self):
+        table = GlobalCacheTable(3, 1, 4)
+        with pytest.raises(ValueError):
+            table.add_frequencies(np.array([1.0, -1.0, 0.0]))
+        with pytest.raises(ValueError):
+            table.add_frequencies(np.ones(2))
+
+    def test_subtable_skips_unfilled(self):
+        table = GlobalCacheTable(4, 2, 4)
+        table.install(0, 0, np.eye(4)[0])
+        table.install(1, 0, np.eye(4)[1])
+        sub = table.subtable({0: np.array([0, 1, 3]), 1: np.array([0])})
+        assert list(sub[0][0]) == [0, 1]
+        assert 1 not in sub  # nothing filled at layer 1
+
+
+class TestServer:
+    def test_initialization_fills_table(self, server, tiny_model):
+        assert server.table.filled.all()
+        # Entries equal ideal centroids.
+        assert np.allclose(
+            server.table.entries[:, 2, :], tiny_model.ideal_centroids(2)
+        )
+
+    def test_reference_statistics_shapes(self, server, tiny_model):
+        L = tiny_model.num_cache_layers
+        assert server.reference_hit_ratio.shape == (L,)
+        assert server.reference_hit_accuracy.shape == (L,)
+        assert server.reference_exit_loss.shape == (L,)
+        assert np.all(server.reference_hit_ratio >= 0)
+        assert np.all(server.reference_hit_ratio <= 1)
+
+    def test_hit_ratio_grows_with_depth_overall(self, server):
+        ratios = server.reference_hit_ratio
+        assert ratios[-1] > ratios[0]
+
+    def test_eligible_layers_subset(self, server, tiny_model):
+        eligible = server.eligible_layers()
+        assert np.all((eligible >= 0) & (eligible < tiny_model.num_cache_layers))
+        # A zero budget leaves nothing eligible.
+        assert server.eligible_layers(accuracy_loss_budget=-1.0).size == 0
+
+    def test_allocate_respects_budget(self, server, tiny_model):
+        budget = 200
+        cache, result = server.allocate(
+            timestamps=np.zeros(8),
+            hit_ratio=server.reference_hit_ratio,
+            budget_bytes=budget,
+        )
+        assert result.size_bytes <= budget
+        assert cache.size_bytes(tiny_model.profile.entry_size_bytes) <= budget
+
+    def test_apply_client_update_moves_entry(self, server, tiny_model):
+        layer = tiny_model.num_cache_layers - 1
+        before = server.table.entries[0, layer].copy()
+        new_vec = -before  # maximally different
+        server.apply_client_update(
+            {(0, layer): new_vec}, local_freq=np.array([30.0] + [0.0] * 7)
+        )
+        after = server.table.entries[0, layer]
+        assert not np.allclose(after, before)
+        assert float(server.table.class_freq[0]) == pytest.approx(40.0)
+
+    def test_cache_size_limit_fraction(self, server, tiny_model):
+        full = 8 * sum(
+            tiny_model.profile.entry_size_bytes(j)
+            for j in range(tiny_model.num_cache_layers)
+        )
+        assert server.cache_size_limit_bytes(0.5) == int(0.5 * full)
+
+
+class TestClient:
+    def test_status_reports_budget_and_vectors(self, tiny_model, config):
+        client = _client(tiny_model, config, budget=500)
+        status = client.status()
+        assert status.cache_budget_bytes == 500
+        assert status.timestamps.shape == (8,)
+        assert status.frequencies.shape == (8,)
+        assert status.hit_ratio.shape == (tiny_model.num_cache_layers,)
+
+    def test_default_budget_uses_fraction(self, tiny_model, config):
+        client = _client(tiny_model, config)
+        full = 8 * sum(
+            tiny_model.profile.entry_size_bytes(j)
+            for j in range(tiny_model.num_cache_layers)
+        )
+        assert client.cache_budget_bytes == int(config.cache_budget_fraction * full)
+
+    def test_round_without_cache_runs_full_model(self, tiny_model, config):
+        client = _client(tiny_model, config)
+        report = client.run_round(30)
+        assert len(report.records) == 30
+        assert all(r.hit_layer is None for r in report.records)
+        lat = np.mean([r.latency_ms for r in report.records])
+        assert lat == pytest.approx(tiny_model.total_compute_ms)
+
+    def test_timestamps_track_recency(self, tiny_model, config):
+        client = _client(tiny_model, config)
+        report = client.run_round(20)
+        last = report.records[-1].predicted_class
+        assert client.timestamps[last] == 0.0
+        # Total counts: every inference increments all, then zeroes one.
+        assert client.timestamps.max() <= 20
+
+    def test_frequencies_sum_to_round_length(self, tiny_model, config):
+        client = _client(tiny_model, config)
+        report = client.run_round(25)
+        assert report.frequencies.sum() == pytest.approx(25.0)
+        assert np.allclose(client.last_frequencies, report.frequencies)
+
+    def test_update_entries_are_unit_norm(self, tiny_model, config, server):
+        client = _client(tiny_model, config)
+        cache, _ = server.allocate(
+            np.zeros(8), server.reference_hit_ratio, client.cache_budget_bytes
+        )
+        client.install_cache(cache)
+        report = client.run_round(80)
+        for vec in report.update_entries.values():
+            assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_collection_respects_thresholds(self, tiny_model, server):
+        """With impossibly strict Gamma/Delta nothing is collected."""
+        strict = CoCaConfig(
+            theta=0.04, frames_per_round=60, collect_gamma=10.0, collect_delta=10.0
+        )
+        client = _client(tiny_model, strict)
+        cache, _ = server.allocate(
+            np.zeros(8), server.reference_hit_ratio, client.cache_budget_bytes
+        )
+        client.install_cache(cache)
+        report = client.run_round(60)
+        assert report.update_entries == {}
+        assert report.absorbed_hits == 0
+        assert report.absorbed_misses == 0
+
+    def test_hit_ratio_seeding_validates_shape(self, tiny_model, config):
+        client = _client(tiny_model, config)
+        with pytest.raises(ValueError):
+            client.seed_hit_ratio(np.zeros(3))
+
+    def test_invalid_round_length(self, tiny_model, config):
+        client = _client(tiny_model, config)
+        with pytest.raises(ValueError):
+            client.run_round(0)
+
+    def test_invalid_budget(self, tiny_model, config):
+        with pytest.raises(ValueError):
+            _client(tiny_model, config, budget=0)

@@ -1,0 +1,111 @@
+"""Unit tests for the cache-instrumented inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import SemanticCache
+from repro.core.engine import CachedInferenceEngine
+from repro.data.stream import Frame
+
+
+def _frame(class_id=0, difficulty=0.05):
+    return Frame(class_id=class_id, difficulty=difficulty, run_position=5, stream_index=0)
+
+
+def _all_layer_cache(model, theta):
+    cache = SemanticCache(model.num_classes, theta=theta)
+    for layer in range(model.num_cache_layers):
+        cache.set_layer_entries(
+            layer, np.arange(model.num_classes), model.ideal_centroids(layer)
+        )
+    return cache
+
+
+class TestEngineNoCache:
+    def test_full_latency_charged(self, tiny_model, rng):
+        engine = CachedInferenceEngine(tiny_model, cache=None)
+        sample = tiny_model.draw_sample(_frame(), 0, rng)
+        outcome = engine.infer(sample)
+        assert outcome.latency_ms == pytest.approx(tiny_model.total_compute_ms)
+        assert outcome.hit_layer is None
+        assert not outcome.hit
+        assert outcome.top2_prob_gap is not None
+
+    def test_empty_cache_behaves_like_no_cache(self, tiny_model, rng):
+        engine = CachedInferenceEngine(tiny_model, SemanticCache(tiny_model.num_classes))
+        sample = tiny_model.draw_sample(_frame(), 0, rng)
+        outcome = engine.infer(sample)
+        assert outcome.latency_ms == pytest.approx(tiny_model.total_compute_ms)
+
+
+class TestEngineWithCache:
+    def test_easy_sample_hits_and_saves_time(self, tiny_model, rng):
+        cache = _all_layer_cache(tiny_model, theta=0.05)
+        engine = CachedInferenceEngine(tiny_model, cache)
+        hits = 0
+        for i in range(30):
+            sample = tiny_model.draw_sample(_frame(class_id=i % 8), 0, rng)
+            outcome = engine.infer(sample)
+            if outcome.hit:
+                hits += 1
+                assert outcome.predicted_class == i % 8
+                assert outcome.latency_ms < tiny_model.total_compute_ms
+                assert outcome.hit_score is not None
+                assert outcome.hit_score > 0.05
+        assert hits >= 20  # easy samples should mostly hit
+
+    def test_impossible_threshold_never_hits(self, tiny_model, rng):
+        cache = _all_layer_cache(tiny_model, theta=np.inf)
+        engine = CachedInferenceEngine(tiny_model, cache)
+        sample = tiny_model.draw_sample(_frame(), 0, rng)
+        outcome = engine.infer(sample)
+        assert not outcome.hit
+        # Paid every lookup plus full compute.
+        expected = tiny_model.total_compute_ms + sum(
+            tiny_model.lookup_cost_ms(8) for _ in range(tiny_model.num_cache_layers)
+        )
+        assert outcome.latency_ms == pytest.approx(expected)
+        assert len(outcome.probes) == tiny_model.num_cache_layers
+
+    def test_hit_latency_decomposition(self, tiny_model, rng):
+        """Latency = prefix compute + lookup costs of the probed layers."""
+        cache = SemanticCache(tiny_model.num_classes, theta=0.02)
+        for layer in (1, 3):
+            cache.set_layer_entries(
+                layer, np.arange(8), tiny_model.ideal_centroids(layer)
+            )
+        engine = CachedInferenceEngine(tiny_model, cache)
+        for i in range(40):
+            sample = tiny_model.draw_sample(_frame(class_id=i % 8), 0, rng)
+            outcome = engine.infer(sample)
+            if outcome.hit_layer == 1:
+                expected = tiny_model.profile.compute_up_to_layer_ms(
+                    1
+                ) + tiny_model.lookup_cost_ms(8)
+                assert outcome.latency_ms == pytest.approx(expected)
+                break
+        else:
+            pytest.fail("no hit at layer 1 in 40 easy samples")
+
+    def test_probes_stop_at_hit(self, tiny_model, rng):
+        cache = _all_layer_cache(tiny_model, theta=0.02)
+        engine = CachedInferenceEngine(tiny_model, cache)
+        sample = tiny_model.draw_sample(_frame(), 0, rng)
+        outcome = engine.infer(sample)
+        if outcome.hit:
+            assert outcome.probes[-1].layer == outcome.hit_layer
+            assert all(not p.hit for p in outcome.probes[:-1])
+
+    def test_set_cache_swaps(self, tiny_model, rng):
+        engine = CachedInferenceEngine(tiny_model, cache=None)
+        engine.set_cache(_all_layer_cache(tiny_model, theta=0.02))
+        sample = tiny_model.draw_sample(_frame(), 0, rng)
+        assert engine.infer(sample).probes  # cache active now
+
+    def test_miss_exposes_probability_gap(self, tiny_model, rng):
+        cache = _all_layer_cache(tiny_model, theta=np.inf)
+        engine = CachedInferenceEngine(tiny_model, cache)
+        sample = tiny_model.draw_sample(_frame(), 0, rng)
+        outcome = engine.infer(sample)
+        assert outcome.top2_prob_gap is not None
+        assert 0.0 <= outcome.top2_prob_gap <= 1.0

@@ -1,0 +1,55 @@
+"""Unit tests for dataset specs."""
+
+import pytest
+
+from repro.data.datasets import ESC50, IMAGENET100, UCF101, DatasetSpec, get_dataset
+
+
+class TestDatasetSpec:
+    def test_paper_class_counts(self):
+        assert UCF101.num_classes == 101
+        assert IMAGENET100.num_classes == 100
+        assert ESC50.num_classes == 50
+
+    def test_subset_reduces_classes(self):
+        sub = UCF101.subset(50)
+        assert sub.num_classes == 50
+        assert sub.name == "ucf101-50"
+        assert sub.mean_run_length == UCF101.mean_run_length
+
+    def test_subset_bounds(self):
+        with pytest.raises(ValueError):
+            UCF101.subset(1)
+        with pytest.raises(ValueError):
+            UCF101.subset(102)
+
+    def test_validation_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", num_classes=1, mean_run_length=5, difficulty=0.2)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", num_classes=5, mean_run_length=0.5, difficulty=0.2)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", num_classes=5, mean_run_length=5, difficulty=1.0)
+
+    def test_video_has_strongest_locality(self):
+        assert UCF101.mean_run_length > IMAGENET100.mean_run_length
+        assert IMAGENET100.mean_run_length > ESC50.mean_run_length
+
+
+class TestGetDataset:
+    def test_lookup_by_name(self):
+        assert get_dataset("ucf101") is UCF101
+        assert get_dataset("imagenet100") is IMAGENET100
+        assert get_dataset("esc50") is ESC50
+
+    def test_lookup_normalizes_punctuation(self):
+        assert get_dataset("UCF-101") is UCF101
+        assert get_dataset("esc_50") is ESC50
+
+    def test_lookup_with_subset(self):
+        spec = get_dataset("ucf101", 20)
+        assert spec.num_classes == 20
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("cifar10")

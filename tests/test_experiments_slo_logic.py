@@ -1,0 +1,80 @@
+"""Unit tests for the Table II SLO-selection logic."""
+
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.experiments import Scenario, run_slo_experiment
+from repro.experiments.slo import SloRow, format_slo_table
+
+
+@pytest.fixture(scope="module")
+def results():
+    scenario = Scenario(
+        dataset=get_dataset("ucf101", 15),
+        model_name="resnet50",
+        num_clients=2,
+        non_iid_level=1.0,
+        seed=91,
+    )
+    return run_slo_experiment(
+        scenario,
+        accuracy_loss_budgets=(0.03, 0.30),
+        methods=("SMTM", "CoCa"),
+        rounds=1,
+        warmup=1,
+        grids={"SMTM": [0.03, 0.08], "CoCa": [0.03, 0.08]},
+    )
+
+
+class TestSloSelection:
+    def test_edge_only_row_is_reference(self, results):
+        for rows in results.values():
+            edge = rows[0]
+            assert edge.method == "Edge-Only"
+            assert edge.met_constraint
+            assert edge.latency_ms == pytest.approx(30.50, abs=0.01)
+
+    def test_loose_budget_admits_faster_configs(self, results):
+        """A looser accuracy budget can only lower (or keep) the chosen
+        latency for each method."""
+        tight = {r.method: r for r in results[0.03]}
+        loose = {r.method: r for r in results[0.30]}
+        for method in ("SMTM", "CoCa"):
+            if tight[method].met_constraint:
+                assert loose[method].latency_ms <= tight[method].latency_ms + 1e-9
+
+    def test_selected_threshold_comes_from_grid(self, results):
+        for rows in results.values():
+            for row in rows[1:]:
+                assert row.threshold in (0.03, 0.08)
+
+    def test_formatting_includes_all_methods(self, results):
+        table = format_slo_table(results, "t")
+        for name in ("Edge-Only", "SMTM", "CoCa"):
+            assert name in table
+
+    def test_rows_are_slorow_instances(self, results):
+        assert all(
+            isinstance(row, SloRow) for rows in results.values() for row in rows
+        )
+
+    def test_unmet_constraint_flagged(self):
+        """An impossible budget (loss < -1, i.e. accuracy must *exceed*
+        Edge-Only by 100pt) can never be met; the row is flagged."""
+        scenario = Scenario(
+            dataset=get_dataset("ucf101", 15),
+            model_name="resnet50",
+            num_clients=2,
+            non_iid_level=1.0,
+            seed=91,
+        )
+        results = run_slo_experiment(
+            scenario,
+            accuracy_loss_budgets=(-1.0,),
+            methods=("CoCa",),
+            rounds=1,
+            warmup=0,
+            grids={"CoCa": [0.05]},
+        )
+        coca = results[-1.0][1]
+        assert not coca.met_constraint

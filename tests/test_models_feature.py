@@ -1,0 +1,227 @@
+"""Unit + property tests for the synthetic semantic feature space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.stream import Frame
+from repro.models.feature import FeatureSpaceConfig, SemanticFeatureSpace
+
+
+def _space(num_classes=8, num_layers=6, num_clients=3, seed=7, **overrides):
+    config = FeatureSpaceConfig(dim=16, cluster_size=4, **overrides)
+    return SemanticFeatureSpace(
+        num_classes=num_classes,
+        num_layers=num_layers,
+        num_clients=num_clients,
+        config=config,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _frame(class_id=0, difficulty=0.3):
+    return Frame(class_id=class_id, difficulty=difficulty, run_position=5, stream_index=0)
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        FeatureSpaceConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dim": 2},
+            {"class_energy_min": 0.0},
+            {"class_energy_min": 0.9, "class_energy_max": 0.5},
+            {"iso_noise_min": 0.5, "iso_noise_max": 0.2},
+            {"conf_sharp": 0.0},
+            {"conf_primary_share": 0.3},
+            {"w_cap": 0.2},
+            {"cluster_cos": 1.0},
+            {"drift_shared_frac": 1.5},
+            {"temperature": 0.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FeatureSpaceConfig(**kwargs)
+
+
+class TestGeometry:
+    def test_centroids_are_unit_norm(self):
+        space = _space()
+        for layer in range(space.num_layers + 1):
+            norms = np.linalg.norm(space.centroid_matrix(layer), axis=1)
+            assert np.allclose(norms, 1.0)
+
+    def test_class_energy_grows_with_depth(self):
+        space = _space()
+        energies = [space.class_energy(j) for j in range(space.num_layers)]
+        assert energies == sorted(energies)
+
+    def test_noise_shrinks_with_depth(self):
+        space = _space()
+        noises = [space.noise_scale(j) for j in range(space.num_layers)]
+        assert noises == sorted(noises, reverse=True)
+
+    def test_deeper_layers_are_more_discriminative(self):
+        """Between-class centroid cosine falls with depth (more class
+        energy => more separation)."""
+        space = _space()
+
+        def mean_offdiag_cos(layer):
+            M = space.centroid_matrix(layer)
+            gram = M @ M.T
+            return (gram.sum() - np.trace(gram)) / (gram.size - gram.shape[0])
+
+        assert mean_offdiag_cos(space.num_layers - 1) < mean_offdiag_cos(0)
+
+    def test_siblings_share_cluster(self):
+        space = _space()
+        assert space.cluster_of(0) == space.cluster_of(1)
+        assert space.cluster_of(0) != space.cluster_of(4)
+        assert 0 not in space.siblings_of(0)
+        assert set(space.siblings_of(0)) == {1, 2, 3}
+
+    def test_sibling_directions_more_similar_than_strangers(self):
+        space = _space(cluster_cos=0.6)
+        M = space.centroid_matrix(space.num_layers)  # final layer
+        sibling_cos = M[0] @ M[1]
+        stranger_cos = M[0] @ M[5]
+        assert sibling_cos > stranger_cos
+
+    def test_client_centroid_differs_under_drift(self):
+        space = _space(client_drift_scale=0.2)
+        base = space.centroid(0, 3)
+        drifted = space.client_centroid(1, 0, 3)
+        assert not np.allclose(base, drifted)
+        assert np.linalg.norm(drifted) == pytest.approx(1.0)
+
+    def test_no_drift_means_client_centroid_equals_global(self):
+        space = _space(client_drift_scale=0.0)
+        assert np.allclose(space.centroid(2, 1), space.client_centroid(0, 2, 1))
+
+    def test_shared_drift_correlates_clients(self):
+        shared = _space(client_drift_scale=0.3, drift_shared_frac=0.95, seed=3)
+        indep = _space(client_drift_scale=0.3, drift_shared_frac=0.0, seed=3)
+
+        def client_center_cos(space):
+            a = space.client_centroid(0, 0, 5)
+            b = space.client_centroid(1, 0, 5)
+            return float(a @ b)
+
+        assert client_center_cos(shared) > client_center_cos(indep)
+
+    def test_constructor_validation(self):
+        config = FeatureSpaceConfig(dim=16)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            SemanticFeatureSpace(1, 5, 1, config, rng)
+        with pytest.raises(ValueError):
+            SemanticFeatureSpace(5, 0, 1, config, rng)
+        with pytest.raises(ValueError):
+            SemanticFeatureSpace(5, 5, 0, config, rng)
+
+
+class TestSampling:
+    def test_vectors_unit_norm_at_all_layers(self, rng):
+        space = _space()
+        sample = space.draw_sample(_frame(), 0, rng)
+        for layer in range(space.num_layers + 1):
+            assert np.linalg.norm(sample.vector(layer)) == pytest.approx(1.0)
+
+    def test_layer_bounds_checked(self, rng):
+        space = _space()
+        sample = space.draw_sample(_frame(), 0, rng)
+        with pytest.raises(ValueError):
+            sample.vector(space.num_layers + 1)
+        with pytest.raises(ValueError):
+            sample.vector(-1)
+
+    def test_easy_sample_close_to_own_centroid(self, rng):
+        space = _space()
+        deep = space.num_layers - 1
+        sims = []
+        for _ in range(50):
+            sample = space.draw_sample(_frame(difficulty=0.05), 0, rng)
+            sims.append(float(sample.vector(deep) @ space.centroid(0, deep)))
+        assert np.mean(sims) > 0.9
+
+    def test_confusion_target_is_sibling(self, rng):
+        space = _space()
+        for _ in range(20):
+            sample = space.draw_sample(_frame(class_id=2), 0, rng)
+            assert sample.confusion_target in set(space.siblings_of(2))
+
+    def test_hard_samples_get_higher_confusion(self):
+        space = _space()
+        rng = np.random.default_rng(0)
+        easy = [space.confusion_weight(0.1, rng) for _ in range(300)]
+        hard = [space.confusion_weight(0.95, rng) for _ in range(300)]
+        assert np.mean(hard) > np.mean(easy) + 0.3
+
+    def test_probabilities_are_normalized(self, rng):
+        space = _space()
+        sample = space.draw_sample(_frame(), 1, rng)
+        probs = sample.probabilities()
+        assert probs.shape == (space.num_classes,)
+        assert probs.sum() == pytest.approx(1.0)
+        assert sample.model_prediction() == int(np.argmax(probs))
+
+    def test_easy_samples_classified_correctly(self, rng):
+        space = _space()
+        correct = 0
+        for i in range(100):
+            sample = space.draw_sample(_frame(class_id=i % 8, difficulty=0.05), 0, rng)
+            correct += int(sample.model_prediction() == i % 8)
+        assert correct >= 95
+
+    def test_model_errors_land_on_siblings(self, rng):
+        space = _space()
+        wrong_targets = []
+        for i in range(400):
+            sample = space.draw_sample(_frame(class_id=0, difficulty=0.95), 0, rng)
+            pred = sample.model_prediction()
+            if pred != 0:
+                wrong_targets.append(pred)
+        assert wrong_targets, "expected some errors at difficulty 0.95"
+        sibling_set = set(space.siblings_of(0))
+        sibling_share = np.mean([t in sibling_set for t in wrong_targets])
+        assert sibling_share > 0.9
+
+    def test_sample_validation(self, rng):
+        space = _space()
+        with pytest.raises(ValueError):
+            space.draw_sample(_frame(class_id=99), 0, rng)
+        with pytest.raises(ValueError):
+            space.draw_sample(_frame(), 99, rng)
+
+
+class TestFeatureProperties:
+    @given(
+        difficulty=st.floats(min_value=0.0, max_value=0.999),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_confusion_weight_bounded(self, difficulty, seed):
+        space = _space()
+        w = space.confusion_weight(difficulty, np.random.default_rng(seed))
+        assert 0.0 <= w <= space.config.w_cap
+
+    @given(
+        class_id=st.integers(min_value=0, max_value=7),
+        client_id=st.integers(min_value=0, max_value=2),
+        difficulty=st.floats(min_value=0.0, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_samples_always_unit_norm(self, class_id, client_id, difficulty, seed):
+        space = _space()
+        sample = space.draw_sample(
+            _frame(class_id=class_id, difficulty=difficulty),
+            client_id,
+            np.random.default_rng(seed),
+        )
+        for layer in (0, space.num_layers // 2, space.num_layers):
+            assert np.linalg.norm(sample.vector(layer)) == pytest.approx(1.0)

@@ -1,0 +1,91 @@
+"""Unit tests for the model zoo (calibration anchors from the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import get_dataset
+from repro.models.zoo import available_models, build_model
+
+
+class TestZooStructure:
+    def test_available_models(self):
+        assert set(available_models()) == {
+            "ast_base",
+            "resnet101",
+            "resnet152",
+            "resnet50",
+            "vgg16_bn",
+        }
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet", get_dataset("ucf101", 50))
+
+    @pytest.mark.parametrize(
+        "name,layers,total_ms",
+        [
+            ("vgg16_bn", 13, 29.94),
+            ("resnet50", 17, 30.50),
+            ("resnet101", 34, 40.58),
+            ("resnet152", 51, 62.85),
+            ("ast_base", 12, 92.00),
+        ],
+    )
+    def test_layer_counts_and_latency_anchors(self, name, layers, total_ms):
+        model = build_model(name, get_dataset("ucf101", 20), seed=0)
+        assert model.num_cache_layers == layers
+        assert model.total_compute_ms == pytest.approx(total_ms, abs=0.01)
+
+    def test_resnet101_lookup_calibration(self):
+        """All 34 layers at 50 entries cost ~56% of no-cache inference
+        (the paper's Sec. III-1 measurement)."""
+        model = build_model("resnet101", get_dataset("ucf101", 50), seed=0)
+        total_lookup = 34 * model.lookup_cost_ms(50)
+        fraction = total_lookup / model.total_compute_ms
+        assert fraction == pytest.approx(0.5622, abs=0.03)
+
+    def test_same_seed_same_geometry(self):
+        ds = get_dataset("ucf101", 20)
+        a = build_model("resnet50", ds, seed=5)
+        b = build_model("resnet50", ds, seed=5)
+        assert np.allclose(a.ideal_centroids(3), b.ideal_centroids(3))
+
+    def test_different_seed_different_geometry(self):
+        ds = get_dataset("ucf101", 20)
+        a = build_model("resnet50", ds, seed=5)
+        b = build_model("resnet50", ds, seed=6)
+        assert not np.allclose(a.ideal_centroids(3), b.ideal_centroids(3))
+
+    def test_multi_client_enables_drift_by_default(self):
+        ds = get_dataset("ucf101", 20)
+        single = build_model("resnet50", ds, num_clients=1)
+        multi = build_model("resnet50", ds, num_clients=4)
+        assert single.feature_space.config.client_drift_scale == 0.0
+        assert multi.feature_space.config.client_drift_scale > 0.0
+
+
+class TestZooAccuracy:
+    @pytest.mark.parametrize(
+        "name,dataset,subset,target",
+        [
+            ("resnet101", "ucf101", 50, 80.56),
+            ("vgg16_bn", "ucf101", 100, 78.12),
+            ("resnet152", "ucf101", 100, 83.98),
+            ("ast_base", "esc50", None, 82.0),
+        ],
+    )
+    def test_edge_only_accuracy_anchor(self, name, dataset, subset, target):
+        """No-cache accuracy within ~3.5pt of the paper's Edge-Only (the
+        Monte-Carlo estimate over 1200 frames carries ~+-1.5pt noise)."""
+        ds = get_dataset(dataset, subset)
+        model = build_model(name, ds, seed=1)
+        acc = 100 * model.measure_accuracy(1200, np.random.default_rng(7))
+        assert acc == pytest.approx(target, abs=3.5)
+
+    def test_deeper_resnet_is_more_accurate(self):
+        ds = get_dataset("ucf101", 100)
+        rng = np.random.default_rng(3)
+        shallow = build_model("resnet50", ds, seed=1).measure_accuracy(1200, rng)
+        rng = np.random.default_rng(3)
+        deep = build_model("resnet152", ds, seed=1).measure_accuracy(1200, rng)
+        assert deep > shallow

@@ -1,0 +1,108 @@
+"""Unit tests for metric aggregation."""
+
+import pytest
+
+from repro.sim.metrics import (
+    InferenceRecord,
+    MetricsCollector,
+    merge_summaries,
+)
+
+
+def _rec(true=0, pred=0, lat=10.0, hit_layer=None, client=0):
+    return InferenceRecord(
+        true_class=true,
+        predicted_class=pred,
+        latency_ms=lat,
+        hit_layer=hit_layer,
+        client_id=client,
+    )
+
+
+class TestInferenceRecord:
+    def test_correct_flag(self):
+        assert _rec(true=3, pred=3).correct
+        assert not _rec(true=3, pred=4).correct
+
+    def test_hit_flag(self):
+        assert _rec(hit_layer=2).hit
+        assert not _rec(hit_layer=None).hit
+
+
+class TestMetricsCollector:
+    def test_empty_summary_raises(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().summary()
+
+    def test_basic_aggregation(self):
+        m = MetricsCollector()
+        m.record(_rec(true=0, pred=0, lat=10.0, hit_layer=1))
+        m.record(_rec(true=0, pred=1, lat=20.0))
+        s = m.summary()
+        assert s.num_samples == 2
+        assert s.avg_latency_ms == pytest.approx(15.0)
+        assert s.accuracy == pytest.approx(0.5)
+        assert s.hit_ratio == pytest.approx(0.5)
+        assert s.hit_accuracy == pytest.approx(1.0)
+        assert s.miss_accuracy == pytest.approx(0.0)
+
+    def test_per_layer_histograms(self):
+        m = MetricsCollector()
+        m.record(_rec(true=0, pred=0, hit_layer=2))
+        m.record(_rec(true=0, pred=1, hit_layer=2))
+        m.record(_rec(true=0, pred=0, hit_layer=5))
+        s = m.summary()
+        assert s.per_layer_hits == {2: 2, 5: 1}
+        assert s.per_layer_hit_accuracy[2] == pytest.approx(0.5)
+        assert s.per_layer_hit_accuracy[5] == pytest.approx(1.0)
+
+    def test_no_hits_gives_zero_hit_accuracy(self):
+        m = MetricsCollector()
+        m.record(_rec())
+        s = m.summary()
+        assert s.hit_ratio == 0.0
+        assert s.hit_accuracy == 0.0
+
+    def test_extend_and_len(self):
+        m = MetricsCollector()
+        m.extend([_rec(), _rec()])
+        assert len(m) == 2
+
+    def test_summary_for_client(self):
+        m = MetricsCollector()
+        m.record(_rec(client=0, lat=10.0))
+        m.record(_rec(client=1, lat=30.0))
+        s = m.summary_for_client(1)
+        assert s.num_samples == 1
+        assert s.avg_latency_ms == pytest.approx(30.0)
+
+    def test_as_row_is_rounded(self):
+        m = MetricsCollector()
+        m.record(_rec(lat=10.123456))
+        row = m.summary().as_row()
+        assert row["latency_ms"] == pytest.approx(10.12)
+        assert row["samples"] == 1
+
+
+class TestMergeSummaries:
+    def test_merge_weighted_by_samples(self):
+        a = MetricsCollector()
+        a.extend([_rec(lat=10.0)] * 3)
+        b = MetricsCollector()
+        b.extend([_rec(lat=40.0)])
+        merged = merge_summaries([a.summary(), b.summary()])
+        assert merged.num_samples == 4
+        assert merged.avg_latency_ms == pytest.approx((3 * 10 + 40) / 4)
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_summaries([])
+
+    def test_merge_hit_accuracy_weighted_by_hits(self):
+        a = MetricsCollector()
+        a.record(_rec(true=0, pred=0, hit_layer=1))  # 1 hit, correct
+        a.record(_rec(true=0, pred=0))
+        b = MetricsCollector()
+        b.record(_rec(true=0, pred=1, hit_layer=1))  # 1 hit, wrong
+        merged = merge_summaries([a.summary(), b.summary()])
+        assert merged.hit_accuracy == pytest.approx(0.5)

@@ -1,0 +1,47 @@
+"""Unit tests for the server-load (response latency) model."""
+
+import pytest
+
+from repro.sim.network import ServerLoadModel
+
+
+class TestServerLoadModel:
+    def test_latency_grows_with_clients(self):
+        model = ServerLoadModel()
+        lats = [model.response_latency_ms(n) for n in (60, 100, 160)]
+        assert lats[0] < lats[1] < lats[2]
+
+    def test_calibration_matches_paper_anchors(self):
+        """Fig. 10b: ~56.7 ms at 60 clients, ~60.9 ms at 160 (+-1 ms)."""
+        model = ServerLoadModel()
+        assert model.response_latency_ms(60) == pytest.approx(56.7, abs=1.0)
+        assert model.response_latency_ms(160) == pytest.approx(60.93, abs=1.0)
+
+    def test_growth_is_modest(self):
+        """The paper reports only ~7.5% growth from 60 to 160 clients."""
+        model = ServerLoadModel()
+        growth = model.response_latency_ms(160) / model.response_latency_ms(60) - 1
+        assert 0.03 < growth < 0.15
+
+    def test_utilization_scales_linearly(self):
+        model = ServerLoadModel()
+        assert model.utilization(100) == pytest.approx(2 * model.utilization(50))
+
+    def test_negative_clients_rejected(self):
+        with pytest.raises(ValueError):
+            ServerLoadModel().utilization(-1)
+
+    def test_saturation_rejected(self):
+        model = ServerLoadModel(service_time_ms=100.0, round_duration_ms=100.0)
+        with pytest.raises(ValueError):
+            model.mean_wait_ms(10)
+
+    def test_zero_clients(self):
+        model = ServerLoadModel()
+        assert model.mean_wait_ms(0) == 0.0
+
+    def test_sweep_returns_all_counts(self):
+        model = ServerLoadModel()
+        sweep = model.sweep([60, 80])
+        assert set(sweep) == {60, 80}
+        assert sweep[60] < sweep[80]

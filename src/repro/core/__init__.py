@@ -6,15 +6,29 @@ from repro.core.allocation import (
     class_scores,
     select_hotspot_classes,
 )
-from repro.core.cache import LayerProbe, LookupSession, SemanticCache
+from repro.core.cache import (
+    BatchedLookupSession,
+    BatchLayerProbe,
+    LayerProbe,
+    LookupSession,
+    SemanticCache,
+    discriminative_score,
+)
 from repro.core.client import ClientStatus, CoCaClient, RoundReport
 from repro.core.config import CoCaConfig, recommended_theta
-from repro.core.engine import CachedInferenceEngine, InferenceOutcome
+from repro.core.engine import (
+    BatchedInferenceEngine,
+    CachedInferenceEngine,
+    InferenceOutcome,
+)
 from repro.core.framework import CoCaFramework, FrameworkResult, RoundSummary
 from repro.core.server import CoCaServer, GlobalCacheTable
 
 __all__ = [
     "AllocationResult",
+    "BatchLayerProbe",
+    "BatchedInferenceEngine",
+    "BatchedLookupSession",
     "CachedInferenceEngine",
     "ClientStatus",
     "CoCaClient",
@@ -31,6 +45,7 @@ __all__ = [
     "SemanticCache",
     "aca_allocate",
     "class_scores",
+    "discriminative_score",
     "recommended_theta",
     "select_hotspot_classes",
 ]

@@ -31,8 +31,11 @@ ACA allocates cache entries for one client in two stages:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
+
+from repro.models.profiles import LookupCostModel
 
 
 @dataclass(frozen=True)
@@ -44,13 +47,14 @@ class AllocationResult:
             fill it with (the indicator matrix X in sparse form).
         hotspot_classes: the stage-1 hot-spot class set, in score order.
         size_bytes: total size of the allocated entries.
-        scores: the Eq. 10 class scores (diagnostics).
+        scores: the Eq. 10 class scores (diagnostics; ``None`` when the
+            result was built without them).
     """
 
     layer_classes: dict[int, np.ndarray]
     hotspot_classes: np.ndarray
     size_bytes: int
-    scores: np.ndarray = field(repr=False, default=None)
+    scores: np.ndarray | None = field(repr=False, default=None)
 
     @property
     def selected_layers(self) -> list[int]:
@@ -140,6 +144,7 @@ def aca_allocate(
     allowed_layers: np.ndarray | None = None,
     local_freq: np.ndarray | None = None,
     local_weight: float = 0.5,
+    lookup_cost_ms: Callable[[int], float] | None = None,
 ) -> AllocationResult:
     """Run Algorithm 1 for one client.
 
@@ -163,6 +168,12 @@ def aca_allocate(
         local_freq: the client's own recent class distribution (uploaded
             with its status); blended into the Eq. 10 frequency term.
         local_weight: blend weight of the local distribution.
+        lookup_cost_ms: per-layer lookup-cost function ``num_entries ->
+            ms`` the expected-latency greedy optimizes against.  Servers
+            pass their model profile's ``lookup_cost_ms`` so allocation
+            uses the *actual* deployment cost; the default falls back to
+            the generic :class:`~repro.models.profiles.LookupCostModel`
+            calibration.
 
     Returns:
         An :class:`AllocationResult`; ``layer_classes`` may be empty when
@@ -213,10 +224,7 @@ def aca_allocate(
             return hotspot[available_classes[hotspot, layer]]
         return hotspot
 
-    def lookup_cost(layer: int, num_entries: int) -> float:
-        # Affine cost surrogate matching LatencyProfile.lookup_cost_ms'
-        # structure; entry counts dominate, the base constant is shared.
-        return 0.28 + 0.0078 * num_entries
+    lookup_cost = LookupCostModel() if lookup_cost_ms is None else lookup_cost_ms
 
     def expected_cost(picked: list[int]) -> float:
         """Expected per-inference cost (up to a constant) for a layer set."""
@@ -227,7 +235,7 @@ def aca_allocate(
         lookups_so_far = 0.0
         prev_mass = 0.0
         for layer in ordered:
-            lookups_so_far += lookup_cost(layer, fill_for(layer).size)
+            lookups_so_far += lookup_cost(fill_for(layer).size)
             mass = R_monotone[layer] - prev_mass
             prev_mass = R_monotone[layer]
             cost += mass * (total_compute + prefix_cost[layer] + lookups_so_far)

@@ -15,21 +15,60 @@ two best classes ``a`` and ``b``:
     D[j] = (A[a, j] - A[b, j]) / A[b, j]                        (Eq. 2)
 
 The cache hits when ``D[j]`` exceeds the threshold theta; inference then
-terminates early returning class ``a``.
+terminates early returning class ``a``.  Eq. 2 presumes a positive
+runner-up: when ``A[b] <= 0`` the relative gap is undefined and no
+confident hit is possible, so :func:`discriminative_score` clamps ``D``
+to 0 instead of dividing by a tiny epsilon.
+
+Two session flavours share the machinery: :class:`LookupSession` walks
+one sample at a time, and :class:`BatchedLookupSession` runs a whole
+batch of samples per layer as single NumPy matrix operations (one
+``(n_alive, d) @ (d, n_entries)`` product, vectorized Eq. 1/2), producing
+outcomes identical to the scalar path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
 _EPS = 1e-9
 
 
-@dataclass(frozen=True)
-class LayerProbe:
+def discriminative_score(a_best, a_second):
+    """Eq. 2 score ``(A[a] - A[b]) / A[b]`` with a safe denominator.
+
+    When the runner-up accumulated similarity ``A[b]`` is non-positive
+    the relative gap is undefined — naively substituting an epsilon
+    denominator explodes the score to ~1e9 and manufactures spurious
+    hits.  No confident hit is possible against a non-positive runner-up,
+    so the score clamps to 0 there.  A *genuinely positive but tiny*
+    runner-up still yields a large score: that is Eq. 2's own unbounded
+    semantics (a huge relative margin), and deployments gate such fires
+    with the calibrated per-layer similarity floors.
+
+    Accepts scalars or equally-shaped arrays; returns a float for scalar
+    inputs and an array otherwise.
+    """
+    best = np.asarray(a_best, dtype=float)
+    second = np.asarray(a_second, dtype=float)
+    positive = second > _EPS
+    score = np.where(
+        positive, (best - second) / np.where(positive, second, 1.0), 0.0
+    )
+    if score.ndim == 0:
+        return float(score)
+    return score
+
+
+class LayerProbe(NamedTuple):
     """Outcome of probing one cache layer during an inference.
+
+    A ``NamedTuple`` rather than a dataclass: probe records are built per
+    (sample, layer) on the hot path, where tuple construction is several
+    times cheaper than frozen-dataclass field assignment.
 
     Attributes:
         layer: index of the probed cache layer.
@@ -164,6 +203,10 @@ class SemanticCache:
         """Begin the per-inference sequential lookup."""
         return LookupSession(self)
 
+    def start_batch_session(self, batch_size: int) -> "BatchedLookupSession":
+        """Begin a vectorized lookup over a batch of concurrent inferences."""
+        return BatchedLookupSession(self, batch_size)
+
     def __repr__(self) -> str:
         layers = {j: self.num_entries(j) for j in self.active_layers}
         return f"SemanticCache(theta={self.theta}, layers={layers})"
@@ -214,7 +257,7 @@ class LookupSession:
         best_idx, second_idx = order[-1], order[-2]
         a_best = float(updated[best_idx])
         a_second = float(updated[second_idx])
-        score = (a_best - a_second) / max(a_second, _EPS)
+        score = discriminative_score(a_best, a_second)
         floor = self._cache.similarity_floor(layer)
         hit = (
             score > self._cache.theta
@@ -225,6 +268,111 @@ class LookupSession:
             layer=layer,
             top_class=int(ids[best_idx]),
             second_class=int(ids[second_idx]),
+            score=score,
+            hit=hit,
+        )
+
+
+@dataclass(frozen=True)
+class BatchLayerProbe:
+    """Outcome of probing one cache layer for a batch of samples.
+
+    All arrays are aligned with ``rows`` (the batch rows probed); entry
+    semantics per row match the scalar :class:`LayerProbe` fields.
+    """
+
+    layer: int
+    rows: np.ndarray
+    top_class: np.ndarray
+    second_class: np.ndarray
+    score: np.ndarray
+    hit: np.ndarray
+
+
+class BatchedLookupSession:
+    """Eq. 1/2 accumulation for a whole batch of concurrent inferences.
+
+    The accumulated-similarity state is a ``(batch, num_classes)`` matrix;
+    each :meth:`probe` call advances one cache layer for the still-alive
+    subset of rows with a single ``(n_alive, d) @ (d, n_entries)`` matmul
+    followed by vectorized top-2 selection and scoring — the batch
+    counterpart of running one :class:`LookupSession` per sample.
+    """
+
+    def __init__(self, cache: SemanticCache, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._cache = cache
+        self.batch_size = batch_size
+        self._accumulated = np.zeros((batch_size, cache.num_classes))
+
+    def accumulated_score(self, row: int, class_id: int) -> float:
+        """Current ``A`` value of a class for one batch row."""
+        return float(self._accumulated[row, class_id])
+
+    def probe(
+        self, layer: int, vectors: np.ndarray, rows: np.ndarray | None = None
+    ) -> BatchLayerProbe:
+        """Probe one activated layer for a subset of batch rows.
+
+        Args:
+            layer: activated cache layer to probe.
+            vectors: ``(n, d)`` semantic vectors of the probed samples.
+            rows: batch-row index of each vector (default: all rows, in
+                which case ``n`` must equal the batch size).
+        """
+        ids, mat = self._cache._layers.get(layer, (None, None))
+        if ids is None:
+            raise KeyError(f"cache layer {layer} is not activated")
+        vecs = np.asarray(vectors, dtype=float)
+        if rows is None:
+            rows = np.arange(self.batch_size)
+        else:
+            rows = np.asarray(rows, dtype=int)
+        if vecs.ndim != 2 or vecs.shape != (rows.size, mat.shape[1]):
+            raise ValueError(
+                f"vectors shape {vecs.shape} does not match "
+                f"({rows.size}, {mat.shape[1]})"
+            )
+
+        similarity = vecs @ mat.T  # C[i, j] for every (row, cached class)
+        row_index = rows[:, None]
+        updated = similarity + self._cache.alpha * self._accumulated[row_index, ids]
+        self._accumulated[row_index, ids] = updated
+
+        n = rows.size
+        if ids.size < 2:
+            top = int(ids[0]) if ids.size == 1 else -1
+            return BatchLayerProbe(
+                layer=layer,
+                rows=rows,
+                top_class=np.full(n, top, dtype=int),
+                second_class=np.full(n, -1, dtype=int),
+                score=np.zeros(n),
+                hit=np.zeros(n, dtype=bool),
+            )
+
+        take = np.arange(n)
+        # Top-2 via two argmax passes (far cheaper than a row sort or
+        # partition): mask the winner, find the runner-up, restore.
+        best_idx = np.argmax(updated, axis=1)
+        a_best = updated[take, best_idx]  # fancy indexing copies
+        updated[take, best_idx] = -np.inf
+        second_idx = np.argmax(updated, axis=1)
+        a_second = updated[take, second_idx]
+        updated[take, best_idx] = a_best
+        score = discriminative_score(a_best, a_second)
+        floor = self._cache.similarity_floor(layer)
+        hit = (
+            (score > self._cache.theta)
+            & (a_best > 0)
+            & (similarity[take, best_idx] >= floor)
+        )
+        return BatchLayerProbe(
+            layer=layer,
+            rows=rows,
+            top_class=ids[best_idx],
+            second_class=ids[second_idx],
             score=score,
             hit=hit,
         )

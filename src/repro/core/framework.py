@@ -3,9 +3,12 @@
 One framework round follows Fig. 3 of the paper, per client:
 
 1. the client uploads status (tau, R, Pi) and requests a cache;
-2. the server runs ACA over the global state and returns the sub-table;
-3. the client runs ``F`` inferences with the cache, collecting status and
-   its update table;
+2. the server runs ACA over the global state — optimizing expected
+   latency against the model profile's own lookup-cost model — and
+   returns the sub-table;
+3. the client runs ``F`` inferences with the cache through its batched
+   engine (one vectorized pass per round, outcome-identical to the
+   scalar loop), collecting status and its update table;
 4. the server merges the update table into the global cache (Eq. 4/5).
 
 The two core mechanisms can be disabled independently for the Fig. 9

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.allocation import AllocationResult, aca_allocate
-from repro.core.cache import SemanticCache
+from repro.core.cache import SemanticCache, discriminative_score
 from repro.core.config import CoCaConfig
 from repro.data.stream import StreamGenerator
 from repro.models.base import SimulatedModel
@@ -229,7 +229,6 @@ class CoCaServer:
             raise ValueError(f"cached_fraction must be in (0, 1], got {cached_fraction}")
         num_cached = max(2, int(round(cached_fraction * num_classes)))
         cached = rng.choice(num_classes, size=num_cached, replace=False)
-        cached_set = set(int(c) for c in cached)
 
         perturb_rng = np.random.default_rng(rng.integers(2**32))
         centroids = []
@@ -249,27 +248,35 @@ class CoCaServer:
             working_set_size=None,  # stable coverage of cached/uncached mix
         )
         theta = self.config.theta
+        frames = stream.take(num_samples)
+        samples = [model.draw_sample(frame, 0, rng) for frame in frames]
+        class_ids = np.array([frame.class_id for frame in frames])
+        vectors = np.stack([s.vector_matrix() for s in samples])  # (N, L+1, d)
+        predictions, _ = model.classify_vectors(vectors[:, num_layers, :])
+        model_ok = predictions == class_ids
+        is_cached = np.isin(class_ids, cached)
+        num_cached_samples = int(is_cached.sum())
+
+        # All layer similarities as one stacked matmul: (L, N, n_cached).
+        similarity = np.einsum(
+            "nld,lmd->lnm", vectors[:, :num_layers, :], np.stack(centroids)
+        )
         fires = np.zeros(num_layers)
         cached_hits = np.zeros(num_layers)
         correct = np.zeros(num_layers)
         model_correct_on_hitters = np.zeros(num_layers)
-        num_cached_samples = 0
-        for frame in stream.take(num_samples):
-            sample = model.draw_sample(frame, 0, rng)
-            model_ok = int(sample.model_prediction() == frame.class_id)
-            is_cached = frame.class_id in cached_set
-            num_cached_samples += int(is_cached)
-            for layer in range(num_layers):
-                similarity = centroids[layer] @ sample.vector(layer)
-                order = np.argsort(similarity)
-                best, second = similarity[order[-1]], similarity[order[-2]]
-                score = (best - second) / max(second, 1e-9)
-                if score > theta and best > 0:
-                    fires[layer] += 1
-                    cached_hits[layer] += int(is_cached)
-                    predicted = int(cached[order[-1]])
-                    correct[layer] += int(predicted == frame.class_id)
-                    model_correct_on_hitters[layer] += model_ok
+        take = np.arange(num_samples)
+        for layer in range(num_layers):
+            order = np.argsort(similarity[layer], axis=1)
+            best = similarity[layer][take, order[:, -1]]
+            second = similarity[layer][take, order[:, -2]]
+            score = discriminative_score(best, second)
+            fire = (score > theta) & (best > 0)
+            fires[layer] = fire.sum()
+            cached_hits[layer] = (fire & is_cached).sum()
+            predicted = cached[order[:, -1]]
+            correct[layer] = (fire & (predicted == class_ids)).sum()
+            model_correct_on_hitters[layer] = (fire & model_ok).sum()
         ratio = cached_hits / max(1, num_cached_samples)
         accuracy = np.divide(correct, fires, out=np.zeros(num_layers), where=fires > 0)
         model_acc = np.divide(
@@ -309,22 +316,25 @@ class CoCaServer:
             base_difficulty=model.dataset.difficulty,
             working_set_size=None,
         )
-        own_sims: list[list[float]] = [[] for _ in range(num_layers)]
-        for frame in stream.take(num_samples):
-            sample = model.draw_sample(frame, 0, rng)
-            # Floors gate *confident* hits, so calibrate on the easy
-            # majority (hard samples would not hit their own class anyway).
-            if sample.confusion_weight > 0.4:
-                continue
-            for layer in range(num_layers):
-                own = centroids[layer, frame.class_id] @ sample.vector(layer)
-                own_sims[layer].append(float(own))
+        frames = stream.take(num_samples)
+        samples = [model.draw_sample(frame, 0, rng) for frame in frames]
+        # Floors gate *confident* hits, so calibrate on the easy
+        # majority (hard samples would not hit their own class anyway).
+        keep = [
+            (frame, sample)
+            for frame, sample in zip(frames, samples)
+            if sample.confusion_weight <= 0.4
+        ]
         floors = np.full(num_layers, -1.0)
-        for layer in range(num_layers):
-            if own_sims[layer]:
-                floors[layer] = float(
-                    np.quantile(own_sims[layer], quantile) - margin
-                )
+        if not keep:
+            return floors
+        class_ids = np.array([frame.class_id for frame, _ in keep])
+        vectors = np.stack([s.vector_matrix() for _, s in keep])  # (K, L+1, d)
+        # own_sims[k, l] = centroid(class of k, layer l) . vector(k, layer l)
+        own_sims = np.einsum(
+            "lkd,kld->kl", centroids[:, class_ids, :], vectors[:, :num_layers, :]
+        )
+        floors = np.quantile(own_sims, quantile, axis=0) - margin
         return floors
 
     def eligible_layers(self, accuracy_loss_budget: float | None = None) -> np.ndarray:
@@ -372,6 +382,7 @@ class CoCaServer:
             available_classes=self.table.filled,
             allowed_layers=self.eligible_layers(),
             local_freq=local_freq,
+            lookup_cost_ms=self.model.profile.lookup_cost_ms,
         )
         cache = self.build_cache(result.layer_classes)
         return cache, result
@@ -432,22 +443,49 @@ class CoCaServer:
     def load_table(self, path) -> None:
         """Restore a global cache table saved by :meth:`save_table`.
 
+        Every array is validated against this server's model geometry
+        (class count, layer count, feature dim) and expected dtype before
+        any state is mutated, so a mismatched archive can never corrupt
+        the server halfway through a load.
+
         Raises:
-            ValueError: if the archive's dimensions do not match this
-                server's model (class count, layer count, feature dim).
+            ValueError: naming the offending archive key when an array is
+                missing or its shape/dtype does not match.
         """
         archive = np.load(path)
-        entries = archive["entries"]
-        if entries.shape != self.table.entries.shape:
-            raise ValueError(
-                f"archive table shape {entries.shape} does not match "
-                f"{self.table.entries.shape}"
-            )
-        self.table.entries = entries
-        self.table.filled = archive["filled"]
-        self.table.class_freq = archive["class_freq"]
-        self.reference_hit_ratio = archive["reference_hit_ratio"]
-        self.reference_hit_accuracy = archive["reference_hit_accuracy"]
-        self.reference_exit_loss = archive["reference_exit_loss"]
-        if "reference_similarity_floor" in archive:
-            self.reference_similarity_floor = archive["reference_similarity_floor"]
+        num_layers = self.model.num_cache_layers
+        expected: dict[str, tuple[tuple[int, ...], type]] = {
+            "entries": (self.table.entries.shape, np.floating),
+            "filled": (self.table.filled.shape, np.bool_),
+            "class_freq": (self.table.class_freq.shape, np.floating),
+            "reference_hit_ratio": ((num_layers,), np.floating),
+            "reference_hit_accuracy": ((num_layers,), np.floating),
+            "reference_exit_loss": ((num_layers,), np.floating),
+        }
+        has_floor = "reference_similarity_floor" in archive
+        if has_floor:
+            expected["reference_similarity_floor"] = ((num_layers,), np.floating)
+        validated: dict[str, np.ndarray] = {}
+        for key, (shape, kind) in expected.items():
+            if key not in archive:
+                raise ValueError(f"archive is missing array {key!r}")
+            array = archive[key]
+            if array.shape != shape:
+                raise ValueError(
+                    f"archive array {key!r} has shape {array.shape}, "
+                    f"expected {shape}"
+                )
+            if not np.issubdtype(array.dtype, kind):
+                raise ValueError(
+                    f"archive array {key!r} has dtype {array.dtype}, "
+                    f"expected {np.dtype(kind) if kind is np.bool_ else 'floating'}"
+                )
+            validated[key] = array
+        self.table.entries = validated["entries"]
+        self.table.filled = validated["filled"]
+        self.table.class_freq = validated["class_freq"]
+        self.reference_hit_ratio = validated["reference_hit_ratio"]
+        self.reference_hit_accuracy = validated["reference_hit_accuracy"]
+        self.reference_exit_loss = validated["reference_exit_loss"]
+        if has_floor:
+            self.reference_similarity_floor = validated["reference_similarity_floor"]

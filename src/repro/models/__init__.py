@@ -8,6 +8,7 @@ from repro.models.feature import (
 )
 from repro.models.profiles import (
     LatencyProfile,
+    LookupCostModel,
     ResNetStagePlan,
     build_profile,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "DEFAULT_CLIENT_DRIFT",
     "FeatureSpaceConfig",
     "LatencyProfile",
+    "LookupCostModel",
     "ResNetStagePlan",
     "SampleFeatures",
     "SemanticFeatureSpace",

@@ -100,6 +100,11 @@ class SimulatedModel:
         """Full-model output: (predicted class, softmax probabilities)."""
         return sample.model_prediction(), sample.probabilities()
 
+    def classify_vectors(self, vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized full-model output for a batch of final-layer vectors:
+        ``(predictions, top-2 probability gaps)``, one row per sample."""
+        return self.feature_space.classify_vectors(vectors)
+
     # ------------------------------------------------------------------
     # Cache-content helpers
     # ------------------------------------------------------------------

@@ -315,6 +315,34 @@ class SemanticFeatureSpace:
         """All ideal class centroids at one layer: shape ``(I, dim)``."""
         return self._centroids[layer].copy()
 
+    def classify_vectors(self, vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized final classification of many samples at once.
+
+        Args:
+            vectors: ``(n, dim)`` final-layer semantic vectors.
+
+        Returns:
+            ``(predictions, top2_prob_gaps)`` — per row, the argmax class
+            of the cosine logits and the gap between the two largest
+            softmax probabilities (the Delta collection rule's signal),
+            matching :meth:`SampleFeatures.model_prediction` /
+            :meth:`SampleFeatures.probabilities` sample by sample.
+        """
+        vecs = np.asarray(vectors, dtype=float)
+        if vecs.ndim != 2 or vecs.shape[1] != self.config.dim:
+            raise ValueError(
+                f"vectors shape {vecs.shape} does not match (n, {self.config.dim})"
+            )
+        logits = vecs @ self._centroids[self.final_layer].T
+        predictions = np.argmax(logits, axis=1)
+        scaled = logits / self.config.temperature
+        shifted = scaled - scaled.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        top2 = np.partition(probs, probs.shape[1] - 2, axis=1)[:, -2:]
+        gaps = top2[:, 1] - top2[:, 0]
+        return predictions, gaps
+
     def client_centroid(self, client_id: int, class_id: int, layer: int) -> np.ndarray:
         """Centre of *client* ``client_id``'s samples of a class at a layer.
 
@@ -473,6 +501,15 @@ class SampleFeatures:
                 f"layer {layer} out of range [0, {self._space.num_layers}]"
             )
         return self._vectors[layer]
+
+    def vector_matrix(self) -> np.ndarray:
+        """All per-layer semantic vectors as one ``(L + 1, dim)`` matrix
+        (cache layers 0..L-1 plus the final representation at row L).
+
+        Returned without copying so batch consumers can stack many
+        samples cheaply — treat it as read-only.
+        """
+        return self._vectors
 
     def final_logits(self) -> np.ndarray:
         """Cosine logits of the full-model classifier (against global centroids)."""

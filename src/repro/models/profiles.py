@@ -14,13 +14,61 @@ Memory accounting uses per-layer entry sizes: a cache entry at layer ``j``
 is the pooled channel vector of that layer, so its size is
 ``channels_j * 4`` bytes; deep layers cost more memory, exactly the
 ``m_{i,j}`` of the paper's Eq. 6.
+
+The lookup-cost definition lives in exactly one place —
+:class:`LookupCostModel` / the profile's ``lookup_base_ms`` /
+``lookup_per_entry_ms`` fields — and is shared by the inference engines
+and ACA's expected-latency greedy, so the optimizer can never drift from
+what the engine actually charges.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
+
+#: Default lookup-cost calibration: 34 ResNet101 cache layers at 50
+#: entries cost ~56% of the no-cache inference latency (Sec. III-1).
+#: These are the ONLY copies of the literals — every consumer (engine,
+#: ACA, profiles) goes through :class:`LookupCostModel` / a profile.
+DEFAULT_LOOKUP_BASE_MS = 0.28
+DEFAULT_LOOKUP_PER_ENTRY_MS = 0.0078
+
+
+@dataclass(frozen=True)
+class LookupCostModel:
+    """The affine cache-lookup cost shared by every latency consumer.
+
+    One lookup of a cache layer holding ``n > 0`` entries costs
+    ``base_ms + per_entry_ms * n``; an empty layer costs nothing.  The
+    inference engine charges this cost per probed layer, and ACA's
+    expected-latency greedy optimizes against the *same* definition —
+    extracting it here is what keeps the two from drifting apart.
+
+    Attributes:
+        base_ms: fixed cost of evaluating one active cache layer
+            (pooling + normalization + bookkeeping).
+        per_entry_ms: additional cost per cache entry scanned.
+    """
+
+    base_ms: float = DEFAULT_LOOKUP_BASE_MS
+    per_entry_ms: float = DEFAULT_LOOKUP_PER_ENTRY_MS
+
+    def __post_init__(self) -> None:
+        if self.base_ms < 0 or self.per_entry_ms < 0:
+            raise ValueError("lookup costs must be non-negative")
+
+    def cost_ms(self, num_entries: int) -> float:
+        """Cost of one cache-layer lookup scanning ``num_entries`` entries."""
+        if num_entries < 0:
+            raise ValueError(f"num_entries must be >= 0, got {num_entries}")
+        if num_entries == 0:
+            return 0.0
+        return self.base_ms + self.per_entry_ms * num_entries
+
+    __call__ = cost_ms
 
 
 @dataclass(frozen=True)
@@ -88,13 +136,17 @@ class LatencyProfile:
         paper's saved-inference-time vector Upsilon, compute time only)."""
         return self.total_compute_ms - self.compute_up_to_layer_ms(layer)
 
+    @cached_property
+    def lookup_cost_model(self) -> LookupCostModel:
+        """This profile's lookup-cost definition as a shareable object
+        (handed to ACA so allocation optimizes the true deployment cost)."""
+        return LookupCostModel(
+            base_ms=self.lookup_base_ms, per_entry_ms=self.lookup_per_entry_ms
+        )
+
     def lookup_cost_ms(self, num_entries: int) -> float:
         """Cost of one cache-layer lookup scanning ``num_entries`` entries."""
-        if num_entries < 0:
-            raise ValueError(f"num_entries must be >= 0, got {num_entries}")
-        if num_entries == 0:
-            return 0.0
-        return self.lookup_base_ms + self.lookup_per_entry_ms * num_entries
+        return self.lookup_cost_model.cost_ms(num_entries)
 
     def entry_size_bytes(self, layer: int) -> int:
         return self.entry_sizes_bytes[layer]
@@ -115,8 +167,8 @@ def build_profile(
     num_cache_layers: int,
     channels_per_layer: list[int],
     block_weights: list[float] | None = None,
-    lookup_base_ms: float = 0.28,
-    lookup_per_entry_ms: float = 0.0078,
+    lookup_base_ms: float = DEFAULT_LOOKUP_BASE_MS,
+    lookup_per_entry_ms: float = DEFAULT_LOOKUP_PER_ENTRY_MS,
 ) -> LatencyProfile:
     """Construct a :class:`LatencyProfile` from a total-latency budget.
 

@@ -174,6 +174,30 @@ class TestAcaAllocate:
         with pytest.raises(ValueError):
             aca_allocate(**inputs)
 
+    def test_lookup_cost_fn_is_honoured(self):
+        """The greedy optimizes the caller's lookup-cost model, not a
+        hard-coded surrogate: ruinous lookups suppress every layer."""
+        inputs = _basic_inputs()
+        free = aca_allocate(**inputs, lookup_cost_ms=lambda n: 0.0)
+        ruinous = aca_allocate(**inputs, lookup_cost_ms=lambda n: 1e9)
+        assert ruinous.layer_classes == {}
+        assert free.layer_classes  # free lookups leave layers worth adding
+
+    def test_default_cost_matches_default_profile(self):
+        """Without an explicit cost fn, ACA's default equals the default
+        LatencyProfile calibration — one definition, no drift."""
+        from repro.models.profiles import LookupCostModel, build_profile
+
+        profile = build_profile(40.0, 4, [8] * 4)
+        model = LookupCostModel()
+        for n in (1, 10, 500):
+            assert model(n) == pytest.approx(profile.lookup_cost_ms(n))
+        default = aca_allocate(**_basic_inputs())
+        explicit = aca_allocate(
+            **_basic_inputs(), lookup_cost_ms=LookupCostModel()
+        )
+        assert default.layer_classes.keys() == explicit.layer_classes.keys()
+
 
 class TestAcaProperties:
     @given(

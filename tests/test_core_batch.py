@@ -1,0 +1,220 @@
+"""Scalar/batch equivalence suite.
+
+The batched inference subsystem must be a pure performance optimization:
+for any cache configuration, :class:`BatchedInferenceEngine.infer_batch`
+must reproduce ``CachedInferenceEngine.infer`` outcome for outcome —
+predictions, hit layers, latencies, and per-layer probe records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import BatchedLookupSession, SemanticCache
+from repro.core.engine import BatchedInferenceEngine, CachedInferenceEngine
+from repro.data.stream import StreamGenerator
+
+
+def _draw_samples(model, seed, count, client_id=0):
+    rng = np.random.default_rng(seed)
+    stream = StreamGenerator(
+        class_distribution=np.full(model.num_classes, 1.0 / model.num_classes),
+        mean_run_length=model.dataset.mean_run_length,
+        rng=rng,
+        base_difficulty=model.dataset.difficulty,
+    )
+    return [model.draw_sample(frame, client_id, rng) for frame in stream.take(count)]
+
+
+def _build_cache(model, variant):
+    num_classes = model.num_classes
+    all_ids = np.arange(num_classes)
+    if variant == "all_layers":
+        cache = SemanticCache(num_classes, theta=0.05)
+        for layer in range(model.num_cache_layers):
+            cache.set_layer_entries(layer, all_ids, model.ideal_centroids(layer))
+    elif variant == "floored":
+        cache = SemanticCache(num_classes, theta=0.02)
+        for layer in range(model.num_cache_layers):
+            cache.set_layer_entries(layer, all_ids, model.ideal_centroids(layer))
+            cache.set_similarity_floor(layer, 0.85)
+    elif variant == "partial":
+        cache = SemanticCache(num_classes, theta=0.02, alpha=0.7)
+        cache.set_layer_entries(1, all_ids[:5], model.ideal_centroids(1)[:5])
+        cache.set_layer_entries(3, all_ids, model.ideal_centroids(3))
+    elif variant == "single_entry":
+        cache = SemanticCache(num_classes, theta=0.0)
+        cache.set_layer_entries(0, all_ids[2:3], model.ideal_centroids(0)[2:3])
+        cache.set_layer_entries(4, all_ids, model.ideal_centroids(4))
+    elif variant == "impossible":
+        cache = SemanticCache(num_classes, theta=np.inf)
+        for layer in range(model.num_cache_layers):
+            cache.set_layer_entries(layer, all_ids, model.ideal_centroids(layer))
+    else:  # pragma: no cover - guard against typos in parametrize
+        raise ValueError(variant)
+    return cache
+
+
+def _assert_outcomes_match(scalar, batched):
+    assert len(scalar) == len(batched)
+    for a, b in zip(scalar, batched):
+        assert b.predicted_class == a.predicted_class
+        assert b.hit_layer == a.hit_layer
+        assert b.latency_ms == pytest.approx(a.latency_ms, rel=1e-12, abs=1e-12)
+        assert len(b.probes) == len(a.probes)
+        for pa, pb in zip(a.probes, b.probes):
+            assert pb.layer == pa.layer
+            assert pb.top_class == pa.top_class
+            assert pb.second_class == pa.second_class
+            assert pb.hit == pa.hit
+            assert pb.score == pytest.approx(pa.score, rel=1e-9, abs=1e-12)
+        if a.hit_score is None:
+            assert b.hit_score is None
+        else:
+            assert b.hit_score == pytest.approx(a.hit_score, rel=1e-9, abs=1e-12)
+        if a.top2_prob_gap is None:
+            assert b.top2_prob_gap is None
+        else:
+            assert b.top2_prob_gap == pytest.approx(
+                a.top2_prob_gap, rel=1e-9, abs=1e-12
+            )
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    @pytest.mark.parametrize(
+        "variant", ["all_layers", "floored", "partial", "single_entry", "impossible"]
+    )
+    def test_batch_matches_scalar(self, tiny_model, seed, variant):
+        cache = _build_cache(tiny_model, variant)
+        samples = _draw_samples(tiny_model, seed, 50)
+        scalar_engine = CachedInferenceEngine(tiny_model, cache)
+        batch_engine = BatchedInferenceEngine(tiny_model, cache)
+        scalar = [scalar_engine.infer(s) for s in samples]
+        batched = batch_engine.infer_batch(samples)
+        _assert_outcomes_match(scalar, batched)
+
+    def test_no_cache_matches_scalar(self, tiny_model):
+        samples = _draw_samples(tiny_model, 5, 20)
+        scalar_engine = CachedInferenceEngine(tiny_model, cache=None)
+        batch_engine = BatchedInferenceEngine(tiny_model, cache=None)
+        _assert_outcomes_match(
+            [scalar_engine.infer(s) for s in samples],
+            batch_engine.infer_batch(samples),
+        )
+
+    def test_empty_cache_matches_scalar(self, tiny_model):
+        cache = SemanticCache(tiny_model.num_classes)
+        samples = _draw_samples(tiny_model, 5, 10)
+        scalar_engine = CachedInferenceEngine(tiny_model, cache)
+        batch_engine = BatchedInferenceEngine(tiny_model, cache)
+        _assert_outcomes_match(
+            [scalar_engine.infer(s) for s in samples],
+            batch_engine.infer_batch(samples),
+        )
+
+    def test_empty_batch(self, tiny_model):
+        engine = BatchedInferenceEngine(tiny_model, _build_cache(tiny_model, "all_layers"))
+        assert engine.infer_batch([]) == []
+
+    def test_set_cache_swaps(self, tiny_model):
+        engine = BatchedInferenceEngine(tiny_model, cache=None)
+        engine.set_cache(_build_cache(tiny_model, "all_layers"))
+        samples = _draw_samples(tiny_model, 1, 3)
+        assert all(o.probes for o in engine.infer_batch(samples))
+
+
+class TestBatchedLookupSession:
+    def test_matches_scalar_session_accumulation(self, tiny_model):
+        cache = _build_cache(tiny_model, "all_layers")
+        samples = _draw_samples(tiny_model, 9, 8)
+        batch = cache.start_batch_session(len(samples))
+        scalars = [cache.start_session() for _ in samples]
+        for layer in cache.active_layers:
+            vectors = np.stack([s.vector(layer) for s in samples])
+            result = batch.probe(layer, vectors)
+            for i, (sample, session) in enumerate(zip(samples, scalars)):
+                probe = session.probe(layer, sample.vector(layer))
+                assert result.top_class[i] == probe.top_class
+                assert result.second_class[i] == probe.second_class
+                assert bool(result.hit[i]) == probe.hit
+                assert result.score[i] == pytest.approx(probe.score, rel=1e-9)
+        for i, session in enumerate(scalars):
+            for class_id in range(tiny_model.num_classes):
+                assert batch.accumulated_score(i, class_id) == pytest.approx(
+                    session.accumulated_score(class_id), rel=1e-9, abs=1e-12
+                )
+
+    def test_rejects_unknown_layer(self, tiny_model):
+        cache = _build_cache(tiny_model, "partial")
+        session = cache.start_batch_session(2)
+        with pytest.raises(KeyError):
+            session.probe(0, np.zeros((2, tiny_model.feature_space.config.dim)))
+
+    def test_rejects_shape_mismatch(self, tiny_model):
+        cache = _build_cache(tiny_model, "all_layers")
+        session = cache.start_batch_session(2)
+        with pytest.raises(ValueError):
+            session.probe(0, np.zeros((3, tiny_model.feature_space.config.dim)))
+
+    def test_rejects_empty_batch(self, tiny_model):
+        cache = _build_cache(tiny_model, "all_layers")
+        with pytest.raises(ValueError):
+            BatchedLookupSession(cache, 0)
+
+
+class TestClientRoundUsesBatchPath:
+    def test_round_report_matches_scalar_replay(self, tiny_model):
+        """A full client round through the batch engine must match a
+        frame-by-frame scalar replay of the same stream (status vectors,
+        frequencies, records, and collected update entries)."""
+        from repro.core.client import CoCaClient
+        from repro.core.config import CoCaConfig
+
+        config = CoCaConfig(frames_per_round=80)
+        cache = _build_cache(tiny_model, "all_layers")
+
+        def build_client(seed):
+            rng = np.random.default_rng(seed)
+            stream = StreamGenerator(
+                class_distribution=np.full(
+                    tiny_model.num_classes, 1.0 / tiny_model.num_classes
+                ),
+                mean_run_length=tiny_model.dataset.mean_run_length,
+                rng=np.random.default_rng(seed + 1),
+                base_difficulty=tiny_model.dataset.difficulty,
+            )
+            client = CoCaClient(
+                client_id=0,
+                model=tiny_model,
+                stream=stream,
+                config=config,
+                rng=rng,
+            )
+            client.install_cache(cache)
+            return client
+
+        client = build_client(42)
+        report = client.run_round()
+
+        # Scalar replay of the identical stream/sample sequence.
+        replay = build_client(42)
+        frames = replay.stream.take(config.frames_per_round)
+        samples = [
+            replay.model.draw_sample(frame, 0, replay._rng) for frame in frames
+        ]
+        timestamps = np.zeros(tiny_model.num_classes)
+        phi = np.zeros(tiny_model.num_classes)
+        outcomes = [replay.engine.infer(s) for s in samples]
+        for outcome in outcomes:
+            timestamps += 1.0
+            timestamps[outcome.predicted_class] = 0.0
+            phi[outcome.predicted_class] += 1.0
+
+        assert np.array_equal(client.timestamps, timestamps)
+        assert np.array_equal(report.frequencies, phi)
+        assert len(report.records) == config.frames_per_round
+        for record, frame, outcome in zip(report.records, frames, outcomes):
+            assert record.true_class == frame.class_id
+            assert record.predicted_class == outcome.predicted_class
+            assert record.hit_layer == outcome.hit_layer
+            assert record.latency_ms == pytest.approx(outcome.latency_ms, rel=1e-12)

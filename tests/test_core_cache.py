@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.cache import SemanticCache
+from repro.core.cache import SemanticCache, discriminative_score
 
 
 def _unit(v):
@@ -102,10 +102,12 @@ class TestLookup:
         ids, mat = _orthogonal_entries(4)
         cache.set_layer_entries(0, ids, mat)
         session = cache.start_session()
-        probe = session.probe(0, mat[2])
+        # Strong match with a positive runner-up (as in the real feature
+        # geometry, where similarities share a positive common base).
+        probe = session.probe(0, _unit(mat[2] + 0.2 * mat[1]))
         assert probe.hit
         assert probe.top_class == 2
-        assert probe.score > 1.0  # orthogonal runner-up => huge margin
+        assert probe.score > 1.0  # small runner-up => huge margin
 
     def test_ambiguous_query_misses(self):
         cache = SemanticCache(4, theta=0.05)
@@ -115,6 +117,26 @@ class TestLookup:
         probe = cache.start_session().probe(0, query)
         assert not probe.hit
         assert probe.score == pytest.approx(0.0, abs=1e-9)
+
+    def test_adversarial_negative_runner_up_is_clamped(self):
+        """Regression: a vector anti-aligned with every entry but one used
+        to fire a ~1e9 score (division by epsilon) and hit spuriously."""
+        cache = SemanticCache(2, theta=0.05)
+        mat = np.array([[1.0, 0.0, 0.0, 0.0], [-1.0, 0.0, 0.0, 0.0]])
+        cache.set_layer_entries(0, np.array([0, 1]), mat)
+        probe = cache.start_session().probe(0, np.array([1.0, 0.0, 0.0, 0.0]))
+        # a_best = 1, a_second = -1: the old expression gave ~2e9.
+        assert probe.score == 0.0
+        assert not probe.hit
+
+    def test_zero_runner_up_is_clamped(self):
+        """An exactly-orthogonal runner-up gives no relative margin."""
+        cache = SemanticCache(4, theta=0.05)
+        ids, mat = _orthogonal_entries(4)
+        cache.set_layer_entries(0, ids, mat)
+        probe = cache.start_session().probe(0, mat[2])
+        assert probe.score == 0.0
+        assert not probe.hit
 
     def test_single_entry_layer_never_hits(self):
         cache = SemanticCache(4, theta=0.0)

@@ -177,6 +177,47 @@ class TestTablePersistence:
         with pytest.raises(ValueError):
             other.load_table(path)
 
+    def test_load_rejects_corrupt_auxiliary_arrays(
+        self, tiny_model, rng, tmp_path, config
+    ):
+        """Every array is validated, not only ``entries``: a mismatched
+        filled/class_freq/reference archive names the offending key."""
+        server = CoCaServer(tiny_model, config)
+        server.initialize_from_shared_dataset(rng, calibration_samples=100)
+        good = tmp_path / "table.npz"
+        server.save_table(good)
+        archive = dict(np.load(good))
+
+        corruptions = {
+            "filled": archive["filled"][:, :-1],  # wrong shape
+            "class_freq": archive["class_freq"].astype(int),  # wrong dtype
+            "reference_hit_ratio": archive["reference_hit_ratio"][:-1],
+            "reference_exit_loss": archive["reference_exit_loss"].astype(bool),
+        }
+        for key, bad_value in corruptions.items():
+            bad = dict(archive)
+            bad[key] = bad_value
+            path = tmp_path / f"bad_{key}.npz"
+            np.savez_compressed(path, **bad)
+            fresh = CoCaServer(tiny_model, config)
+            with pytest.raises(ValueError, match=key):
+                fresh.load_table(path)
+            # Failed loads must not half-mutate server state.
+            assert not fresh.table.filled.any()
+
+    def test_load_rejects_missing_array(self, tiny_model, rng, tmp_path, config):
+        server = CoCaServer(tiny_model, config)
+        server.initialize_from_shared_dataset(rng, calibration_samples=100)
+        good = tmp_path / "table.npz"
+        server.save_table(good)
+        archive = dict(np.load(good))
+        del archive["filled"]
+        path = tmp_path / "missing.npz"
+        np.savez_compressed(path, **archive)
+        fresh = CoCaServer(tiny_model, config)
+        with pytest.raises(ValueError, match="filled"):
+            fresh.load_table(path)
+
     def test_warm_started_server_allocates(self, tiny_model, rng, tmp_path, config):
         server = CoCaServer(tiny_model, config)
         server.initialize_from_shared_dataset(rng, calibration_samples=100)

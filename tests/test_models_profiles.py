@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.models.profiles import (
     LatencyProfile,
+    LookupCostModel,
     ResNetStagePlan,
     build_profile,
 )
@@ -56,6 +57,29 @@ class TestLatencyProfile:
     def test_lookup_cost_rejects_negative(self):
         with pytest.raises(ValueError):
             _profile().lookup_cost_ms(-1)
+
+
+class TestLookupCostModel:
+    def test_profile_and_model_agree(self):
+        profile = _profile()
+        model = profile.lookup_cost_model
+        for n in (0, 1, 7, 500):
+            assert model.cost_ms(n) == pytest.approx(profile.lookup_cost_ms(n))
+
+    def test_is_callable(self):
+        model = LookupCostModel(base_ms=1.0, per_entry_ms=0.5)
+        assert model(4) == pytest.approx(3.0)
+
+    def test_zero_entries_cost_nothing(self):
+        assert LookupCostModel().cost_ms(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LookupCostModel(base_ms=-1.0)
+        with pytest.raises(ValueError):
+            LookupCostModel(per_entry_ms=-0.1)
+        with pytest.raises(ValueError):
+            LookupCostModel().cost_ms(-1)
 
     def test_entry_sizes_follow_channels(self):
         profile = _profile(channels=[8, 16, 32, 64])

@@ -18,6 +18,7 @@ from repro.core.client import ClientStatus, CoCaClient, RoundReport
 from repro.core.config import CoCaConfig, recommended_theta
 from repro.core.engine import (
     BatchedInferenceEngine,
+    BatchOutcomes,
     CachedInferenceEngine,
     InferenceOutcome,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "AllocationResult",
     "BatchLayerProbe",
     "BatchedInferenceEngine",
+    "BatchOutcomes",
     "BatchedLookupSession",
     "CachedInferenceEngine",
     "ClientStatus",

@@ -19,10 +19,16 @@ Entries update as ``U[i, j] = V[i, j] + beta * U[i, j]`` (Eq. 3) and are
 L2-normalized.  The client knows no ground-truth labels: classes are the
 *inferred* outputs, exactly as deployed.
 
-Rounds execute on the client's :class:`BatchedInferenceEngine`: frames
-are drawn up front and inferred as one vectorized batch, with the status
-vectors (tau, phi) updated by equivalent batch arithmetic — identical
-outcomes to the historical per-frame loop at a fraction of the cost.
+Rounds are array-at-a-time end to end: frames come as one
+:class:`~repro.data.stream.FrameBlock`, samples as one
+:class:`~repro.models.feature.SampleBatch`, inference as one
+:class:`~repro.core.engine.BatchOutcomes` pass, the status vectors
+(tau, phi) update with batch arithmetic, and Eq. 3 collection folds the
+selected samples with grouped array updates — one vectorized multi-layer
+fold per collected sample instead of a per-(sample, layer) dict walk.
+:meth:`CoCaClient.run_round_reference` preserves the historical
+per-frame scalar path; given the same pre-drawn batch the two produce
+identical reports (see ``tests/test_round_pipeline_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -35,11 +41,13 @@ from repro.core.cache import SemanticCache
 from repro.core.config import CoCaConfig
 from repro.core.engine import (
     BatchedInferenceEngine,
+    BatchOutcomes,
     CachedInferenceEngine,
     InferenceOutcome,
 )
 from repro.data.stream import StreamGenerator
 from repro.models.base import SimulatedModel
+from repro.models.feature import SampleBatch
 from repro.sim.metrics import InferenceRecord
 
 
@@ -168,28 +176,42 @@ class CoCaClient:
         self.engine.set_cache(cache)
         self.batch_engine.set_cache(cache)
 
-    def run_round(self, num_frames: int | None = None) -> RoundReport:
+    def run_round(
+        self,
+        num_frames: int | None = None,
+        batch: SampleBatch | None = None,
+    ) -> RoundReport:
         """Run F inferences, maintaining status and the update table.
 
-        The round executes on the batched engine: all frames are drawn up
-        front and inferred as one vectorized batch (identical outcomes to
-        the per-frame scalar loop), then the status vectors are updated
-        with equivalent vectorized arithmetic.
+        The round is vectorized end to end: the stream yields one
+        :class:`~repro.data.stream.FrameBlock`, the feature space draws
+        one :class:`SampleBatch`, the batched engine returns
+        :class:`BatchOutcomes` arrays, and status updates plus Eq. 3
+        collection run as grouped array operations.  Outcomes are
+        identical to :meth:`run_round_reference` on the same batch.
+
+        Args:
+            num_frames: round length (default ``config.frames_per_round``);
+                ignored when ``batch`` is given.
+            batch: pre-drawn samples to run instead of consuming the
+                stream (used by the equivalence suite and benchmarks).
         """
-        frames = num_frames if num_frames is not None else self.config.frames_per_round
-        if frames < 1:
-            raise ValueError(f"num_frames must be >= 1, got {frames}")
+        if batch is None:
+            frames = (
+                num_frames if num_frames is not None else self.config.frames_per_round
+            )
+            if frames < 1:
+                raise ValueError(f"num_frames must be >= 1, got {frames}")
+            block = self.stream.take_block(frames)
+            batch = self.model.draw_samples(block, self.client_id, self._rng)
+        else:
+            frames = len(batch)
+            if frames < 1:
+                raise ValueError("batch must contain at least one sample")
 
         num_classes = self.model.num_classes
-        update_entries: dict[tuple[int, int], np.ndarray] = {}
-
-        round_frames = self.stream.take(frames)
-        samples = [
-            self.model.draw_sample(frame, self.client_id, self._rng)
-            for frame in round_frames
-        ]
-        outcomes = self.batch_engine.infer_batch(samples)
-        predictions = np.array([o.predicted_class for o in outcomes], dtype=int)
+        out = self.batch_engine.infer_batch_soa(batch)
+        predictions = out.predicted_class
 
         # Status vectors track the *inferred* class (no labels online).
         # Batch equivalent of (tau += 1; tau[pred] = 0) per frame: classes
@@ -202,31 +224,97 @@ class CoCaClient:
         seen = last_position >= 0
         self.timestamps[seen] = float(frames - 1) - last_position[seen]
 
-        hit_layers = np.array(
-            [o.hit_layer for o in outcomes if o.hit_layer is not None], dtype=int
-        )
+        hit_mask = out.hit_layer >= 0
         layer_hits = np.bincount(
-            hit_layers, minlength=self.model.num_cache_layers
+            out.hit_layer[hit_mask], minlength=self.model.num_cache_layers
         ).astype(float)
 
+        report = RoundReport(
+            client_id=self.client_id,
+            records=[],
+            update_entries={},
+            frequencies=phi,
+        )
+        report.update_entries = self._collect_batch(batch, out, report)
+
+        true_list = batch.class_ids.tolist()
+        pred_list = predictions.tolist()
+        latency_list = out.latency_ms.tolist()
+        hit_list = out.hit_layer.tolist()
+        report.records = [
+            InferenceRecord(
+                true_class=true,
+                predicted_class=pred,
+                latency_ms=latency,
+                hit_layer=(hit if hit >= 0 else None),
+                client_id=self.client_id,
+            )
+            for true, pred, latency, hit in zip(
+                true_list, pred_list, latency_list, hit_list
+            )
+        ]
+
+        self._refresh_hit_ratio(layer_hits, frames)
+        self.last_frequencies = phi.copy()
+        return report
+
+    def run_round_reference(
+        self,
+        num_frames: int | None = None,
+        batch: SampleBatch | None = None,
+    ) -> RoundReport:
+        """Per-frame scalar reference of :meth:`run_round`.
+
+        Draws, infers, tracks status, and collects one frame at a time on
+        the scalar engine — the seed implementation, kept as the
+        behavioural reference for the vectorized round and as the
+        baseline of ``benchmarks/test_round_pipeline.py``.  Given the
+        same pre-drawn ``batch``, the report matches :meth:`run_round`
+        exactly (update tables, phi/tau, records, diagnostics).
+        """
+        if batch is None:
+            frames = (
+                num_frames if num_frames is not None else self.config.frames_per_round
+            )
+            if frames < 1:
+                raise ValueError(f"num_frames must be >= 1, got {frames}")
+            samples = [
+                self.model.draw_sample(frame, self.client_id, self._rng)
+                for frame in self.stream.take(frames)
+            ]
+        else:
+            frames = len(batch)
+            if frames < 1:
+                raise ValueError("batch must contain at least one sample")
+            samples = batch.samples()
+
+        num_classes = self.model.num_classes
+        update_entries: dict[tuple[int, int], np.ndarray] = {}
+        phi = np.zeros(num_classes)
+        layer_hits = np.zeros(self.model.num_cache_layers)
         report = RoundReport(
             client_id=self.client_id,
             records=[],
             update_entries=update_entries,
             frequencies=phi,
         )
-        for sample, outcome in zip(samples, outcomes):
+        for sample in samples:
+            outcome = self.engine.infer(sample)
+            self.timestamps += 1.0
+            self.timestamps[outcome.predicted_class] = 0.0
+            phi[outcome.predicted_class] += 1.0
+            if outcome.hit_layer is not None:
+                layer_hits[outcome.hit_layer] += 1.0
             self._maybe_collect(sample, outcome, update_entries, report)
-        report.records = [
-            InferenceRecord(
-                true_class=frame.class_id,
-                predicted_class=outcome.predicted_class,
-                latency_ms=outcome.latency_ms,
-                hit_layer=outcome.hit_layer,
-                client_id=self.client_id,
+            report.records.append(
+                InferenceRecord(
+                    true_class=sample.true_class,
+                    predicted_class=outcome.predicted_class,
+                    latency_ms=outcome.latency_ms,
+                    hit_layer=outcome.hit_layer,
+                    client_id=self.client_id,
+                )
             )
-            for frame, outcome in zip(round_frames, outcomes)
-        ]
 
         self._refresh_hit_ratio(layer_hits, frames)
         self.last_frequencies = phi.copy()
@@ -255,6 +343,84 @@ class CoCaClient:
             self.hit_ratio[layer] = (
                 1 - blend
             ) * self.hit_ratio[layer] + blend * cumulative
+
+    def _collect_batch(
+        self,
+        batch: SampleBatch,
+        out: BatchOutcomes,
+        report: RoundReport,
+    ) -> dict[tuple[int, int], np.ndarray]:
+        """Vectorized Sec. IV-C collection over a whole round (Eq. 3).
+
+        Selection (the Gamma / Delta rules and all diagnostics counters)
+        is pure array arithmetic.  The Eq. 3 fold itself is sequential
+        *per (class, layer) key* — each absorb renormalizes, so the
+        recurrence cannot be collapsed — but the selected samples are a
+        minority of the round and each one now folds all of its collected
+        layers in a single grouped array update, instead of the scalar
+        path's per-(sample, layer) dict walk.  Key-for-key, the folds see
+        the same vectors in the same stream order as
+        :meth:`_maybe_collect`, so the resulting table is identical.
+        """
+        batch_size = len(batch)
+        predictions = out.predicted_class
+        hit_mask = out.hit_layer >= 0
+        collect_hit = hit_mask.copy()
+        collect_hit[hit_mask] = out.hit_score[hit_mask] > self.config.collect_gamma
+        miss_mask = ~hit_mask
+        collect_miss = miss_mask.copy()
+        collect_miss[miss_mask] = (
+            out.top2_prob_gap[miss_mask] > self.config.collect_delta
+        )
+        collected = collect_hit | collect_miss
+
+        report.eligible_hits = int(hit_mask.sum())
+        report.eligible_misses = batch_size - report.eligible_hits
+        report.absorbed_hits = int(collect_hit.sum())
+        report.absorbed_misses = int(collect_miss.sum())
+        report.collected_total = report.absorbed_hits + report.absorbed_misses
+        report.collected_correct = int(
+            (predictions[collected] == batch.class_ids[collected]).sum()
+        )
+
+        update_entries: dict[tuple[int, int], np.ndarray] = {}
+        if not report.collected_total:
+            return update_entries
+
+        num_layers = self.model.num_cache_layers
+        dim = batch.vectors.shape[-1]
+        cache = self.engine.cache
+        active = np.asarray(cache.active_layers if cache is not None else [], dtype=int)
+        # A hit collects the probed prefix (active layers up to and
+        # including the hit layer); a miss collects every preset layer.
+        prefix_of = {int(layer): k + 1 for k, layer in enumerate(active)}
+        all_layers = np.arange(num_layers)
+        beta = self.config.beta
+        vectors = batch.vectors
+
+        # Per-class fold state: U rows start at zero, so "new key" and
+        # "existing key" share one expression (V + beta * 0 == V).
+        state: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        hit_layer_list = out.hit_layer.tolist()
+        pred_list = predictions.tolist()
+        for i in np.flatnonzero(collected).tolist():
+            class_id = pred_list[i]
+            layer = hit_layer_list[i]
+            layers = all_layers if layer < 0 else active[: prefix_of[layer]]
+            if class_id not in state:
+                state[class_id] = (np.zeros((num_layers, dim)), np.zeros(num_layers, bool))
+            table, exists = state[class_id]
+            merged = vectors[i, layers, :] + beta * table[layers]
+            norms = np.sqrt(np.einsum("kd,kd->k", merged, merged))
+            ok = norms > 0
+            rows = layers[ok]
+            table[rows] = merged[ok] / norms[ok, None]
+            exists[rows] = True
+
+        for class_id, (table, exists) in state.items():
+            for layer in np.flatnonzero(exists).tolist():
+                update_entries[(class_id, layer)] = table[layer].copy()
+        return update_entries
 
     def _maybe_collect(
         self,

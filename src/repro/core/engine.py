@@ -16,6 +16,13 @@ sample at a time (the reference scalar path), and
 batch operations — per activated layer, one matmul over all
 still-unresolved samples with early-exit masking — producing outcomes
 identical to the scalar engine at a fraction of the interpreter cost.
+The batched engine accepts a :class:`~repro.models.feature.SampleBatch`
+directly (no per-sample re-packing) and offers two result shapes:
+:meth:`BatchedInferenceEngine.infer_batch` builds one
+:class:`InferenceOutcome` per sample (probe records included), while
+:meth:`BatchedInferenceEngine.infer_batch_soa` returns a
+:class:`BatchOutcomes` structure of arrays — the round pipeline's hot
+path, which never materializes per-sample objects.
 """
 
 from __future__ import annotations
@@ -26,7 +33,23 @@ import numpy as np
 
 from repro.core.cache import LayerProbe, SemanticCache
 from repro.models.base import SimulatedModel
-from repro.models.feature import SampleFeatures
+from repro.models.feature import SampleBatch, SampleFeatures
+
+
+def _top2_prob_gap(probs: np.ndarray) -> float:
+    """Gap between the two largest entries of a probability vector."""
+    if probs.size < 2:
+        return 1.0
+    top2 = np.partition(probs, probs.size - 2)[-2:]
+    return float(top2[1] - top2[0])
+
+
+def _batch_vectors(samples: SampleBatch | Sequence[SampleFeatures]) -> np.ndarray:
+    """The ``(B, L+1, d)`` vector tensor of a batch, stacking only when
+    given loose per-sample objects."""
+    if isinstance(samples, SampleBatch):
+        return samples.vectors
+    return np.stack([s.vector_matrix() for s in samples])
 
 
 class InferenceOutcome(NamedTuple):
@@ -82,8 +105,7 @@ class CachedInferenceEngine:
         profile = self.model.profile
         if self.cache is None or not self.cache.active_layers:
             predicted, probs = self.model.classify(sample)
-            probs_sorted = sorted(probs, reverse=True)
-            gap = float(probs_sorted[0] - probs_sorted[1]) if len(probs_sorted) > 1 else 1.0
+            gap = _top2_prob_gap(probs)
             return InferenceOutcome(
                 predicted_class=predicted,
                 hit_layer=None,
@@ -110,8 +132,7 @@ class CachedInferenceEngine:
                 )
 
         predicted, probs = self.model.classify(sample)
-        probs_sorted = sorted(probs, reverse=True)
-        gap = float(probs_sorted[0] - probs_sorted[1]) if len(probs_sorted) > 1 else 1.0
+        gap = _top2_prob_gap(probs)
         return InferenceOutcome(
             predicted_class=predicted,
             hit_layer=None,
@@ -119,6 +140,36 @@ class CachedInferenceEngine:
             probes=tuple(probes),
             top2_prob_gap=gap,
         )
+
+
+class BatchOutcomes(NamedTuple):
+    """Structure-of-arrays outcomes of one batched inference pass.
+
+    The array counterpart of a ``list[InferenceOutcome]`` for consumers
+    that post-process outcomes with vectorized arithmetic (the round
+    pipeline): no per-sample objects, no per-layer probe records.
+
+    Attributes:
+        predicted_class: ``(B,)`` int — class returned per sample.
+        hit_layer: ``(B,)`` int — cache layer that hit, ``-1`` on full
+            execution.
+        latency_ms: ``(B,)`` float — compute + lookup latency per sample.
+        hit_score: ``(B,)`` float — Eq. 2 score at the hit layer,
+            ``np.nan`` for samples that missed everywhere.
+        top2_prob_gap: ``(B,)`` float — top-2 softmax gap of the full
+            model, ``np.nan`` unless the model ran to completion.
+    """
+
+    predicted_class: np.ndarray
+    hit_layer: np.ndarray
+    latency_ms: np.ndarray
+    hit_score: np.ndarray
+    top2_prob_gap: np.ndarray
+
+    @property
+    def hit(self) -> np.ndarray:
+        """Boolean hit mask, ``(B,)``."""
+        return self.hit_layer >= 0
 
 
 class BatchedInferenceEngine:
@@ -146,14 +197,20 @@ class BatchedInferenceEngine:
         """Swap in a newly allocated cache (start of a CoCa round)."""
         self.cache = cache
 
-    def infer_batch(self, samples: Sequence[SampleFeatures]) -> list[InferenceOutcome]:
-        """Run a batch of samples, returning one outcome per sample in order."""
-        if not samples:
+    def infer_batch(
+        self, samples: SampleBatch | Sequence[SampleFeatures]
+    ) -> list[InferenceOutcome]:
+        """Run a batch of samples, returning one outcome per sample in order.
+
+        Accepts a :class:`SampleBatch` (its vector tensor is consumed
+        directly) or any sequence of :class:`SampleFeatures`.
+        """
+        if not len(samples):
             return []
         profile = self.model.profile
         cache = self.cache
         batch = len(samples)
-        vectors = np.stack([s.vector_matrix() for s in samples])  # (B, L+1, d)
+        vectors = _batch_vectors(samples)  # (B, L+1, d)
         final = self.model.feature_space.final_layer
 
         if cache is None or not cache.active_layers:
@@ -217,3 +274,59 @@ class BatchedInferenceEngine:
                     top2_prob_gap=gap_list[i],
                 )
         return outcomes  # type: ignore[return-value]
+
+    def infer_batch_soa(
+        self, samples: SampleBatch | Sequence[SampleFeatures]
+    ) -> BatchOutcomes:
+        """Run a batch, returning :class:`BatchOutcomes` arrays.
+
+        Same early-exit semantics and per-sample results as
+        :meth:`infer_batch` (and therefore as the scalar engine), but the
+        outcomes stay as whole-batch arrays: nothing per-sample is
+        constructed, which is what keeps a full protocol round
+        array-at-a-time end to end.
+        """
+        profile = self.model.profile
+        cache = self.cache
+        batch = len(samples)
+        predicted = np.zeros(batch, dtype=int)
+        hit_layer = np.full(batch, -1, dtype=int)
+        latency = np.zeros(batch)
+        hit_score = np.full(batch, np.nan)
+        top2_gap = np.full(batch, np.nan)
+        if batch == 0:
+            return BatchOutcomes(predicted, hit_layer, latency, hit_score, top2_gap)
+        vectors = _batch_vectors(samples)  # (B, L+1, d)
+        final = self.model.feature_space.final_layer
+
+        if cache is None or not cache.active_layers:
+            predictions, gaps = self.model.classify_vectors(vectors[:, final, :])
+            predicted[:] = predictions
+            latency[:] = profile.total_compute_ms
+            top2_gap[:] = gaps
+            return BatchOutcomes(predicted, hit_layer, latency, hit_score, top2_gap)
+
+        session = cache.start_batch_session(batch)
+        lookup_ms = np.zeros(batch)
+        alive = np.arange(batch)
+        for layer in cache.active_layers:
+            lookup_ms[alive] += profile.lookup_cost_ms(cache.num_entries(layer))
+            result = session.probe(layer, vectors[alive, layer, :], rows=alive)
+            if result.hit.any():
+                hitters = alive[result.hit]
+                predicted[hitters] = result.top_class[result.hit]
+                hit_layer[hitters] = layer
+                latency[hitters] = (
+                    profile.compute_up_to_layer_ms(layer) + lookup_ms[hitters]
+                )
+                hit_score[hitters] = result.score[result.hit]
+                alive = alive[~result.hit]
+                if alive.size == 0:
+                    break
+
+        if alive.size:
+            predictions, gaps = self.model.classify_vectors(vectors[alive, final, :])
+            predicted[alive] = predictions
+            latency[alive] = profile.total_compute_ms + lookup_ms[alive]
+            top2_gap[alive] = gaps
+        return BatchOutcomes(predicted, hit_layer, latency, hit_score, top2_gap)

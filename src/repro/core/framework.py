@@ -6,10 +6,16 @@ One framework round follows Fig. 3 of the paper, per client:
 2. the server runs ACA over the global state — optimizing expected
    latency against the model profile's own lookup-cost model — and
    returns the sub-table;
-3. the client runs ``F`` inferences with the cache through its batched
-   engine (one vectorized pass per round, outcome-identical to the
-   scalar loop), collecting status and its update table;
-4. the server merges the update table into the global cache (Eq. 4/5).
+3. the client runs ``F`` inferences with the cache through the batched
+   round pipeline (block frame generation, one vectorized sample draw and
+   inference pass, grouped Eq. 3 collection — outcome-identical to the
+   per-frame scalar loop), collecting status and its update table;
+4. the server merges the update table into the global cache with one
+   vectorized Eq. 4 scatter pass (Eq. 5 for frequencies).
+
+``run_round(reference=True)`` executes the same protocol on the scalar
+per-frame reference path instead, for equivalence testing and the
+round-pipeline benchmark.
 
 The two core mechanisms can be disabled independently for the Fig. 9
 ablation: with ``enable_dca=False`` allocation is *static* (computed once
@@ -196,7 +202,9 @@ class CoCaFramework:
     # Driving
     # ------------------------------------------------------------------
 
-    def run_round(self, round_index: int = 0) -> list[RoundReport]:
+    def run_round(
+        self, round_index: int = 0, *, reference: bool = False
+    ) -> list[RoundReport]:
         """Execute one full protocol round.
 
         With ``participation_rate < 1``, each client independently joins
@@ -205,6 +213,11 @@ class CoCaFramework:
         the dropout robustness the client-server design affords.  With
         ``temporal_drift_per_round > 0`` the feature environment evolves
         before the round (Sec. IV-A's "contextual feature changes").
+
+        With ``reference=True`` the round runs on the per-frame scalar
+        path instead (:meth:`CoCaClient.run_round_reference` and the
+        per-entry Eq. 4 merge) — the seed implementation, kept for the
+        equivalence suite and the round-pipeline benchmark.
         """
         if self.temporal_drift_per_round > 0:
             self.model.feature_space.evolve_drift(
@@ -239,14 +252,21 @@ class CoCaFramework:
                 assert self._static_allocation is not None
                 cache = self.server.build_cache(self._static_allocation.layer_classes)
             client.install_cache(cache)
-            report = client.run_round()
+            report = (
+                client.run_round_reference() if reference else client.run_round()
+            )
             reports.append(report)
         # Global updates happen after all clients finish the round.
         if self.enable_gcu:
             for report in reports:
-                self.server.apply_client_update(
-                    report.update_entries, report.frequencies
-                )
+                if reference:
+                    self.server.apply_client_update_reference(
+                        report.update_entries, report.frequencies
+                    )
+                else:
+                    self.server.apply_client_update(
+                        report.update_entries, report.frequencies
+                    )
         else:
             # Frequencies still accumulate (they are bookkeeping, not cache
             # content); only the semantic entries stay frozen.

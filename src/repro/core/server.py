@@ -13,6 +13,16 @@ round it:
 
 The initial table and the reference per-layer hit-ratio vector come from
 the server's *global shared dataset*, exactly as in the paper.
+
+Merging is vectorized: :meth:`CoCaServer.apply_client_update` folds the
+whole uploaded table with one Eq. 4 scatter pass over the flat
+``(class, layer)`` index (:meth:`GlobalCacheTable.merge_updates`);
+:meth:`GlobalCacheTable.merge_update` remains the per-entry scalar
+reference.  Calibration (:meth:`CoCaServer.measure_layer_statistics`,
+:meth:`CoCaServer.measure_similarity_floors`) draws its shared-dataset
+streams as blocks and its samples as one
+:class:`~repro.models.feature.SampleBatch` — no per-sample Python
+objects anywhere on the server.
 """
 
 from __future__ import annotations
@@ -84,6 +94,76 @@ class GlobalCacheTable:
         norm = np.linalg.norm(merged)
         if norm >= _EPS:
             self.entries[class_id, layer] = merged / norm
+
+    def merge_updates(
+        self,
+        class_ids: np.ndarray,
+        layers: np.ndarray,
+        update_vectors: np.ndarray,
+        local_freqs: np.ndarray,
+        gamma: float,
+    ) -> None:
+        """Eq. 4 for a whole batch of ``(class, layer)`` entries at once.
+
+        Entry-for-entry equivalent to calling :meth:`merge_update` per
+        ``(class_ids[k], layers[k])`` — installs into unfilled slots,
+        blends filled ones by frequency weight, skips zero-frequency and
+        zero-norm updates — but executed as vectorized scatter updates on
+        a flat ``(class, layer)`` index.  Keys must be unique (one update
+        table never holds two entries for the same key).
+        """
+        ids = np.asarray(class_ids, dtype=int)
+        lays = np.asarray(layers, dtype=int)
+        new = np.asarray(update_vectors, dtype=float)
+        freqs = np.asarray(local_freqs, dtype=float)
+        if (
+            ids.ndim != 1
+            or lays.shape != ids.shape
+            or new.shape != (ids.size, self.dim)
+            or freqs.shape != ids.shape
+        ):
+            raise ValueError(
+                f"shape mismatch: ids {ids.shape}, layers {lays.shape}, "
+                f"vectors {new.shape}, freqs {freqs.shape}"
+            )
+        if ids.size == 0:
+            return
+        if np.any(ids < 0) or np.any(ids >= self.num_classes):
+            raise ValueError("class id out of range")
+        if np.any(lays < 0) or np.any(lays >= self.num_layers):
+            raise ValueError("layer out of range")
+        flat = ids * self.num_layers + lays
+        if np.unique(flat).size != flat.size:
+            raise ValueError("duplicate (class, layer) keys in one update")
+        if np.any(freqs < 0):
+            raise ValueError("local_freq must be >= 0")
+        active = freqs > 0
+        flat, ids, new, freqs = flat[active], ids[active], new[active], freqs[active]
+        if ids.size == 0:
+            return
+        entries_flat = self.entries.reshape(-1, self.dim)
+        filled_flat = self.filled.reshape(-1)
+        norms = np.sqrt(np.einsum("kd,kd->k", new, new))
+        filled = filled_flat[flat]
+
+        install = ~filled & (norms >= _EPS)
+        if install.any():
+            rows = flat[install]
+            entries_flat[rows] = new[install] / norms[install, None]
+            filled_flat[rows] = True
+
+        if filled.any():
+            rows = flat[filled]
+            global_freq = self.class_freq[ids[filled]]
+            denom = global_freq + freqs[filled]
+            old = entries_flat[rows]
+            merged = (
+                gamma * (global_freq / denom)[:, None] * old
+                + (freqs[filled] / denom)[:, None] * new[filled]
+            )
+            merged_norms = np.sqrt(np.einsum("kd,kd->k", merged, merged))
+            ok = merged_norms >= _EPS
+            entries_flat[rows[ok]] = merged[ok] / merged_norms[ok, None]
 
     def add_frequencies(self, local_freq: np.ndarray) -> None:
         """Eq. 5: accumulate a client's round frequencies into Phi."""
@@ -248,11 +328,11 @@ class CoCaServer:
             working_set_size=None,  # stable coverage of cached/uncached mix
         )
         theta = self.config.theta
-        frames = stream.take(num_samples)
-        samples = [model.draw_sample(frame, 0, rng) for frame in frames]
-        class_ids = np.array([frame.class_id for frame in frames])
-        vectors = np.stack([s.vector_matrix() for s in samples])  # (N, L+1, d)
-        predictions, _ = model.classify_vectors(vectors[:, num_layers, :])
+        block = stream.take_block(num_samples)
+        batch = model.draw_samples(block, 0, rng)
+        class_ids = block.class_ids
+        vectors = batch.vectors  # (N, L+1, d)
+        predictions, _ = model.classify_vectors(batch.final_vectors())
         model_ok = predictions == class_ids
         is_cached = np.isin(class_ids, cached)
         num_cached_samples = int(is_cached.sum())
@@ -267,14 +347,19 @@ class CoCaServer:
         model_correct_on_hitters = np.zeros(num_layers)
         take = np.arange(num_samples)
         for layer in range(num_layers):
-            order = np.argsort(similarity[layer], axis=1)
-            best = similarity[layer][take, order[:, -1]]
-            second = similarity[layer][take, order[:, -2]]
+            # Top-2 via two argmax passes (the BatchedLookupSession trick):
+            # mask the winner, find the runner-up, restore.
+            sims = similarity[layer]
+            best_idx = np.argmax(sims, axis=1)
+            best = sims[take, best_idx]  # fancy indexing copies
+            sims[take, best_idx] = -np.inf
+            second = sims[take, np.argmax(sims, axis=1)]
+            sims[take, best_idx] = best
             score = discriminative_score(best, second)
             fire = (score > theta) & (best > 0)
             fires[layer] = fire.sum()
             cached_hits[layer] = (fire & is_cached).sum()
-            predicted = cached[order[:, -1]]
+            predicted = cached[best_idx]
             correct[layer] = (fire & (predicted == class_ids)).sum()
             model_correct_on_hitters[layer] = (fire & model_ok).sum()
         ratio = cached_hits / max(1, num_cached_samples)
@@ -316,20 +401,16 @@ class CoCaServer:
             base_difficulty=model.dataset.difficulty,
             working_set_size=None,
         )
-        frames = stream.take(num_samples)
-        samples = [model.draw_sample(frame, 0, rng) for frame in frames]
+        block = stream.take_block(num_samples)
+        batch = model.draw_samples(block, 0, rng)
         # Floors gate *confident* hits, so calibrate on the easy
         # majority (hard samples would not hit their own class anyway).
-        keep = [
-            (frame, sample)
-            for frame, sample in zip(frames, samples)
-            if sample.confusion_weight <= 0.4
-        ]
+        keep = batch.confusion_weights <= 0.4
         floors = np.full(num_layers, -1.0)
-        if not keep:
+        if not keep.any():
             return floors
-        class_ids = np.array([frame.class_id for frame, _ in keep])
-        vectors = np.stack([s.vector_matrix() for _, s in keep])  # (K, L+1, d)
+        class_ids = block.class_ids[keep]
+        vectors = batch.vectors[keep]  # (K, L+1, d)
         # own_sims[k, l] = centroid(class of k, layer l) . vector(k, layer l)
         own_sims = np.einsum(
             "lkd,kld->kl", centroids[:, class_ids, :], vectors[:, :num_layers, :]
@@ -404,7 +485,29 @@ class CoCaServer:
         update_entries: dict[tuple[int, int], np.ndarray],
         local_freq: np.ndarray,
     ) -> None:
-        """Global updates: Eq. 4 for each uploaded entry, then Eq. 5."""
+        """Global updates: one vectorized Eq. 4 pass, then Eq. 5.
+
+        The whole uploaded table is merged with a single
+        :meth:`GlobalCacheTable.merge_updates` scatter pass over the flat
+        ``(class, layer)`` index; entry-for-entry equivalent to
+        :meth:`apply_client_update_reference` (entries of one upload are
+        independent — Phi only accumulates afterwards).
+        """
+        gamma = self.config.gamma
+        local_freq = np.asarray(local_freq, dtype=float)
+        if update_entries:
+            keys = np.array(list(update_entries.keys()), dtype=int)
+            vectors = np.stack(list(update_entries.values()))
+            ids, layers = keys[:, 0], keys[:, 1]
+            self.table.merge_updates(ids, layers, vectors, local_freq[ids], gamma)
+        self.table.add_frequencies(local_freq)
+
+    def apply_client_update_reference(
+        self,
+        update_entries: dict[tuple[int, int], np.ndarray],
+        local_freq: np.ndarray,
+    ) -> None:
+        """Per-entry scalar reference of :meth:`apply_client_update`."""
         gamma = self.config.gamma
         for (class_id, layer), vector in update_entries.items():
             self.table.merge_update(

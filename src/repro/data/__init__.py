@@ -8,7 +8,12 @@ from repro.data.partition import (
     head_mass,
     longtail_weights,
 )
-from repro.data.stream import Frame, StreamGenerator, empirical_class_frequencies
+from repro.data.stream import (
+    Frame,
+    FrameBlock,
+    StreamGenerator,
+    empirical_class_frequencies,
+)
 
 __all__ = [
     "ESC50",
@@ -16,6 +21,7 @@ __all__ = [
     "UCF101",
     "DatasetSpec",
     "Frame",
+    "FrameBlock",
     "StreamGenerator",
     "apply_longtail",
     "dirichlet_class_distribution",

@@ -23,12 +23,21 @@ are slightly harder (scene transitions), and a per-frame random component
 models intra-class variation.  The model substrate turns difficulty into
 feature confusion, which is what produces the paper's "easy samples hit
 at shallow cache layers" behaviour (Fig. 1b).
+
+Two generation granularities share the run machinery:
+:meth:`StreamGenerator.next_frame` / :meth:`StreamGenerator.take` produce
+:class:`Frame` objects one at a time (the reference scalar path), while
+:meth:`StreamGenerator.take_block` produces a :class:`FrameBlock` —
+a structure-of-arrays view of the same two-level process, generated one
+*run* at a time with the per-frame difficulty arithmetic vectorized.
+Blocks feed :meth:`repro.models.feature.SemanticFeatureSpace.draw_samples`
+without ever materializing per-frame Python objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -48,6 +57,68 @@ class Frame:
     difficulty: float
     run_position: int
     stream_index: int
+
+
+@dataclass(frozen=True)
+class FrameBlock:
+    """A contiguous block of stream frames as a structure of arrays.
+
+    The batched counterpart of a ``list[Frame]``: four aligned arrays of
+    equal length, indexable without constructing per-frame objects.
+    Produced by :meth:`StreamGenerator.take_block` and consumed directly
+    by :meth:`repro.models.feature.SemanticFeatureSpace.draw_samples`.
+
+    Attributes:
+        class_ids: ground-truth class per frame, shape ``(n,)``.
+        difficulties: per-frame difficulty in [0, 1), shape ``(n,)``.
+        run_positions: 0-based index within the same-class run, ``(n,)``.
+        stream_indices: global stream index per frame, ``(n,)``.
+    """
+
+    class_ids: np.ndarray
+    difficulties: np.ndarray
+    run_positions: np.ndarray
+    stream_indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.class_ids.shape
+        for name in ("difficulties", "run_positions", "stream_indices"):
+            if getattr(self, name).shape != n:
+                raise ValueError(f"{name} shape {getattr(self, name).shape} != {n}")
+
+    def __len__(self) -> int:
+        return int(self.class_ids.size)
+
+    def frame(self, index: int) -> Frame:
+        """Materialize one frame as a scalar :class:`Frame` object."""
+        return Frame(
+            class_id=int(self.class_ids[index]),
+            difficulty=float(self.difficulties[index]),
+            run_position=int(self.run_positions[index]),
+            stream_index=int(self.stream_indices[index]),
+        )
+
+    def frames(self) -> list[Frame]:
+        """Materialize the whole block as scalar :class:`Frame` objects."""
+        return [self.frame(i) for i in range(len(self))]
+
+    @classmethod
+    def from_frames(cls, frames: Sequence[Frame]) -> "FrameBlock":
+        """Pack scalar frames into a block (for mixed-granularity callers)."""
+        return cls(
+            class_ids=np.fromiter(
+                (f.class_id for f in frames), dtype=np.int64, count=len(frames)
+            ),
+            difficulties=np.fromiter(
+                (f.difficulty for f in frames), dtype=float, count=len(frames)
+            ),
+            run_positions=np.fromiter(
+                (f.run_position for f in frames), dtype=np.int64, count=len(frames)
+            ),
+            stream_indices=np.fromiter(
+                (f.stream_index for f in frames), dtype=np.int64, count=len(frames)
+            ),
+        )
 
 
 class StreamGenerator:
@@ -189,19 +260,83 @@ class StreamGenerator:
             raise ValueError(f"count must be >= 0, got {count}")
         return [self.next_frame() for _ in range(count)]
 
+    def take_block(self, count: int) -> FrameBlock:
+        """Produce the next ``count`` frames as a :class:`FrameBlock`.
+
+        The two-level process (working-set churn, run class/length draws)
+        advances run by run exactly as :meth:`next_frame` does, but the
+        per-frame work — difficulty transition decay plus uniform jitter —
+        is computed as one array operation per run, so the Python cost is
+        proportional to the number of *runs*, not frames.  The stream
+        state afterwards is as if ``count`` frames had been consumed, so
+        block and scalar granularities can be mixed freely (the random
+        streams differ, but the process distribution is identical).
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        class_parts: list[np.ndarray] = []
+        diff_parts: list[np.ndarray] = []
+        pos_parts: list[np.ndarray] = []
+        produced = 0
+        while produced < count:
+            if self._remaining_in_run <= 0:
+                self._start_new_run()
+            assert self._current_class is not None
+            n = min(self._remaining_in_run, count - produced)
+            positions = self._run_position + np.arange(n)
+            transition = self._transition_penalty * np.power(0.5, positions)
+            jitter = self._rng.uniform(0.0, self._jitter, size=n)
+            difficulties = np.minimum(
+                0.999, self._base_difficulty + transition + jitter
+            )
+            class_parts.append(np.full(n, self._current_class, dtype=np.int64))
+            diff_parts.append(difficulties)
+            pos_parts.append(positions)
+            self._remaining_in_run -= n
+            self._run_position += n
+            produced += n
+        indices = np.arange(self._index, self._index + count, dtype=np.int64)
+        self._index += count
+        if not class_parts:
+            return FrameBlock(
+                class_ids=np.zeros(0, dtype=np.int64),
+                difficulties=np.zeros(0),
+                run_positions=np.zeros(0, dtype=np.int64),
+                stream_indices=indices,
+            )
+        return FrameBlock(
+            class_ids=np.concatenate(class_parts),
+            difficulties=np.concatenate(diff_parts),
+            run_positions=np.concatenate(pos_parts),
+            stream_indices=indices,
+        )
+
     def __iter__(self) -> Iterator[Frame]:
         while True:
             yield self.next_frame()
 
 
-def empirical_class_frequencies(frames: list[Frame], num_classes: int) -> np.ndarray:
-    """Observed class frequency vector of a frame batch (sums to 1)."""
-    counts = np.zeros(num_classes, dtype=float)
-    for frame in frames:
-        if not 0 <= frame.class_id < num_classes:
+def empirical_class_frequencies(
+    frames: Sequence[Frame] | FrameBlock, num_classes: int
+) -> np.ndarray:
+    """Observed class frequency vector of a frame batch (sums to 1).
+
+    Accepts a ``list[Frame]`` or a :class:`FrameBlock`; counting is one
+    ``np.bincount`` either way.
+    """
+    if isinstance(frames, FrameBlock):
+        ids = frames.class_ids.astype(np.int64, copy=False)
+    else:
+        ids = np.fromiter(
+            (f.class_id for f in frames), dtype=np.int64, count=len(frames)
+        )
+    if ids.size:
+        low, high = int(ids.min()), int(ids.max())
+        if low < 0 or high >= num_classes:
+            offending = low if low < 0 else high
             raise ValueError(
-                f"frame class {frame.class_id} out of range [0, {num_classes})"
+                f"frame class {offending} out of range [0, {num_classes})"
             )
-        counts[frame.class_id] += 1.0
+    counts = np.bincount(ids, minlength=num_classes).astype(float)
     total = counts.sum()
     return counts / total if total > 0 else counts

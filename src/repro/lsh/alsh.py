@@ -11,6 +11,11 @@ natural choice for cosine similarity): a key is the sign pattern of the
 vector against ``base_bits`` hyperplanes; buckets exceeding
 ``max_bucket_size`` are split by locally extending the pattern with
 reserve hyperplanes, recursively, up to ``max_bits``.
+
+:meth:`AdaptiveLSH.query_batch` resolves many queries with one batched
+sign-hash matmul, so FoggyCache-style consumers can probe the index
+array-at-a-time, matching per-vector :meth:`AdaptiveLSH.query` result
+for result.
 """
 
 from __future__ import annotations
@@ -118,6 +123,34 @@ class AdaptiveLSH:
         if vec.shape != (self.dim,):
             raise ValueError(f"vector shape {vec.shape} != ({self.dim},)")
         key = self._locate_bucket(vec)
+        return self._live_bucket(key)
+
+    def query_batch(self, vectors: np.ndarray) -> list[list[int]]:
+        """Candidate ids for many queries at once.
+
+        The sign patterns of all queries against *all* hyperplanes come
+        from a single ``(n, dim) @ (dim, max_bits)`` product — the
+        dominant per-query cost of :meth:`query` — after which the trie
+        descent per query is a few dict probes on precomputed bits.
+        Result ``k`` equals ``query(vectors[k])`` (dead entries purged
+        the same way).
+        """
+        vecs = np.asarray(vectors, dtype=float)
+        if vecs.ndim != 2 or vecs.shape[1] != self.dim:
+            raise ValueError(f"vectors shape {vecs.shape} != (n, {self.dim})")
+        signs = (vecs @ self._planes.T > 0).astype(int)  # (n, max_bits)
+        results: list[list[int]] = []
+        for row in signs.tolist():
+            bits = self.base_bits
+            key = tuple(row[:bits])
+            while key in self._split and bits < self.max_bits:
+                bits += 1
+                key = tuple(row[:bits])
+            results.append(self._live_bucket(key))
+        return results
+
+    def _live_bucket(self, key: tuple[int, ...]) -> list[int]:
+        """Live ids of one bucket, purging dead entries in place."""
         bucket = self._buckets.get(key, [])
         live = [i for i in bucket if self._alive[i]]
         if len(live) != len(bucket):

@@ -3,6 +3,7 @@
 from repro.models.base import SimulatedModel
 from repro.models.feature import (
     FeatureSpaceConfig,
+    SampleBatch,
     SampleFeatures,
     SemanticFeatureSpace,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "LatencyProfile",
     "LookupCostModel",
     "ResNetStagePlan",
+    "SampleBatch",
     "SampleFeatures",
     "SemanticFeatureSpace",
     "SimulatedModel",

@@ -17,9 +17,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.datasets import DatasetSpec
-from repro.data.stream import Frame
+from repro.data.stream import Frame, FrameBlock
 from repro.models.feature import (
     FeatureSpaceConfig,
+    SampleBatch,
     SampleFeatures,
     SemanticFeatureSpace,
 )
@@ -88,6 +89,16 @@ class SimulatedModel:
         """Materialize the semantic features of one frame for one client."""
         return self.feature_space.draw_sample(frame, client_id, rng)
 
+    def draw_samples(
+        self,
+        frames: FrameBlock | list[Frame],
+        client_id: int,
+        rng: np.random.Generator,
+    ) -> SampleBatch:
+        """Materialize a whole batch of frames as one :class:`SampleBatch`
+        (vectorized counterpart of :meth:`draw_sample`)."""
+        return self.feature_space.draw_samples(frames, client_id, rng)
+
     def block_time_ms(self, block: int) -> float:
         """Compute time of block ``block`` (0..L)."""
         return self.profile.block_time_ms(block)
@@ -136,12 +147,10 @@ class SimulatedModel:
             ),
             working_set_size=None,  # model accuracy, not stream composition
         )
-        correct = 0
-        for frame in stream.take(num_samples):
-            sample = self.draw_sample(frame, client_id, rng)
-            predicted, _ = self.classify(sample)
-            correct += int(predicted == frame.class_id)
-        return correct / num_samples
+        block = stream.take_block(num_samples)
+        batch = self.draw_samples(block, client_id, rng)
+        predictions, _ = self.classify_vectors(batch.final_vectors())
+        return float(np.mean(predictions == block.class_ids))
 
     def __repr__(self) -> str:
         return (

@@ -34,15 +34,25 @@ directly, reproducing the geometry the paper's mechanism relies on:
 * **Per-client non-IID drift.**  A client's samples of class ``c``
   cluster around a client-specific offset of the global centroid; global
   cache updates (Sec. IV-D) exist precisely to track this.
+
+Sampling comes in two granularities sharing the same generative process:
+:meth:`SemanticFeatureSpace.draw_sample` materializes one
+:class:`SampleFeatures` per frame (the reference scalar path), while
+:meth:`SemanticFeatureSpace.draw_samples` draws a whole
+:class:`SampleBatch` at once — sibling choice, the two-mode
+confusion-weight draw, centroid mixing, and noise/normalization all
+vectorized over the batch — feeding the batched inference engine and the
+round pipeline without per-frame Python objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.data.stream import Frame
+from repro.data.stream import Frame, FrameBlock
 
 
 def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
@@ -254,6 +264,16 @@ class SemanticFeatureSpace:
             if sibs.size == 0:
                 sibs = np.setdiff1d(np.arange(num_classes), [c])
             self._siblings.append(sibs)
+        # Padded sibling table for vectorized confusion-target draws:
+        # row c holds class c's siblings left-justified, padded with its
+        # first sibling (the pad is never selected because draws are
+        # bounded by the per-class sibling count).
+        max_sibs = max(s.size for s in self._siblings)
+        self._sibling_count = np.array([s.size for s in self._siblings])
+        self._sibling_pad = np.zeros((num_classes, max_sibs), dtype=np.int64)
+        for c, sibs in enumerate(self._siblings):
+            self._sibling_pad[c, : sibs.size] = sibs
+            self._sibling_pad[c, sibs.size :] = sibs[0]
 
         # Depth schedules (cache layers 0..L-1 plus the final layer at L).
         depth = np.linspace(0.0, 1.0, num_layers)
@@ -268,9 +288,14 @@ class SemanticFeatureSpace:
         self._class_energy = np.append(energy, config.final_class_energy)
         self._iso_noise = np.append(noise, config.final_iso_noise)
 
-        # Precompute ideal (undrifted) centroids for all layers: (L+1, I, d).
+        # Precompute ideal (undrifted) centroids for all layers: (L+1, I, d),
+        # plus a class-major copy (I, L+1, d) so batched draws can gather
+        # one contiguous (B, L+1, d) block per confusion role.
         self._centroids = np.stack(
             [self._layer_centroids(j) for j in range(num_layers + 1)]
+        )
+        self._centroids_by_class = np.ascontiguousarray(
+            self._centroids.transpose(1, 0, 2)
         )
 
     # ------------------------------------------------------------------
@@ -463,6 +488,116 @@ class SemanticFeatureSpace:
             confusion_weight=w,
         )
 
+    def draw_samples(
+        self,
+        frames: FrameBlock | Sequence[Frame],
+        client_id: int,
+        rng: np.random.Generator,
+    ) -> "SampleBatch":
+        """Materialize the semantic vectors of many frames at once.
+
+        The batched counterpart of :meth:`draw_sample`: the same
+        generative process — two distinct confusion siblings, the
+        two-mode difficulty -> weight draw, centroid/drift mixing and
+        per-layer isotropic noise — executed as whole-batch array
+        operations.  Random-stream consumption differs from a per-frame
+        ``draw_sample`` loop (arrays are drawn instead of scalars), so
+        the two paths are distributionally, not bitwise, equivalent.
+        """
+        block = (
+            frames
+            if isinstance(frames, FrameBlock)
+            else FrameBlock.from_frames(list(frames))
+        )
+        if not 0 <= client_id < self.num_clients:
+            raise ValueError(
+                f"client_id {client_id} out of range [0, {self.num_clients})"
+            )
+        cfg = self.config
+        d = cfg.dim
+        num_levels = self.num_layers + 1
+        class_ids = block.class_ids
+        batch = len(block)
+        if batch == 0:
+            return SampleBatch(
+                block=block,
+                client_id=client_id,
+                vectors=np.zeros((0, num_levels, d)),
+                space=self,
+                confusion_targets=np.zeros(0, dtype=np.int64),
+                confusion_weights=np.zeros(0),
+            )
+        if class_ids.min() < 0 or class_ids.max() >= self.num_classes:
+            bad = int(class_ids.min() if class_ids.min() < 0 else class_ids.max())
+            raise ValueError(
+                f"frame class {bad} out of range [0, {self.num_classes})"
+            )
+
+        # Two distinct siblings per sample: a uniform index, then a
+        # uniform index into the remaining pool shifted past the first —
+        # the vectorized equivalent of ``rng.choice(sibs, 2, False)``.
+        counts = self._sibling_count[class_ids]
+        first = np.minimum((rng.random(batch) * counts).astype(np.int64), counts - 1)
+        pool = np.maximum(counts - 1, 1)
+        second = np.minimum((rng.random(batch) * pool).astype(np.int64), pool - 1)
+        second = np.where(counts < 2, first, second + (second >= first))
+        primary = self._sibling_pad[class_ids, first]
+        secondary = self._sibling_pad[class_ids, second]
+
+        # Two-mode confusion weights (vectorized confusion_weight).
+        hard_prob = 1.0 / (
+            1.0 + np.exp(-(block.difficulties - cfg.conf_mid) / cfg.conf_sharp)
+        )
+        is_hard = rng.random(batch) < hard_prob
+        u = rng.random(batch)
+        boundary = 1.0 / (1.0 + cfg.conf_primary_share)
+        w = np.where(
+            is_hard,
+            (boundary - 0.05) + cfg.conf_span * u,
+            cfg.conf_base + cfg.conf_jitter * u,
+        )
+        w = np.clip(w, 0.0, cfg.w_cap)
+
+        # Class-major gathers yield fresh (B, L+1, d) blocks, so the mix
+        # accumulates in place — no (L+1, B, d) transposed temporaries.
+        centers = self._centroids_by_class
+        share = cfg.conf_primary_share
+        drift = (
+            cfg.client_drift_scale * self._drift_dirs[client_id]
+            if cfg.client_drift_scale != 0.0
+            else None
+        )
+        mixed = centers[class_ids]
+        if drift is not None:
+            mixed += drift[class_ids][:, None, :]
+        mixed *= (1.0 - w)[:, None, None]
+        part = centers[primary]
+        if drift is not None:
+            part += drift[primary][:, None, :]
+        part *= (w * share)[:, None, None]
+        mixed += part
+        part = centers[secondary]
+        if drift is not None:
+            part += drift[secondary][:, None, :]
+        part *= (w * (1.0 - share))[:, None, None]
+        mixed += part  # (B, L+1, d)
+        noise = rng.standard_normal((batch, num_levels, d))
+        noise *= (self._iso_noise / np.sqrt(d))[None, :, None]
+        mixed += noise
+        norms = np.sqrt(np.einsum("bld,bld->bl", mixed, mixed))
+        if np.any(norms == 0):
+            raise ValueError("cannot normalize a zero vector")
+        mixed /= norms[:, :, None]
+        vectors = mixed
+        return SampleBatch(
+            block=block,
+            client_id=client_id,
+            vectors=vectors,
+            space=self,
+            confusion_targets=primary,
+            confusion_weights=w,
+        )
+
 
 class SampleFeatures:
     """Per-layer semantic vectors of one frame, plus final classification.
@@ -529,3 +664,70 @@ class SampleFeatures:
     def model_prediction(self) -> int:
         """Class the full model outputs when no cache layer hits."""
         return int(np.argmax(self.final_logits()))
+
+
+class SampleBatch:
+    """Structure-of-arrays batch of drawn samples.
+
+    Produced by :meth:`SemanticFeatureSpace.draw_samples`.  Batch
+    consumers (the batched inference engine, the round pipeline, server
+    calibration) read the arrays directly; :meth:`sample` materializes a
+    scalar :class:`SampleFeatures` view sharing the underlying vector
+    row, so scalar reference paths can replay the identical batch.
+
+    Attributes:
+        block: the :class:`~repro.data.stream.FrameBlock` the samples
+            were drawn for.
+        client_id: drift profile the batch was drawn with.
+        vectors: per-layer unit semantic vectors, shape ``(B, L+1, d)``
+            (cache layers 0..L-1 plus the final representation at L).
+        confusion_targets: primary confusion sibling per sample, ``(B,)``.
+        confusion_weights: per-sample confusion weight ``w``, ``(B,)``.
+    """
+
+    def __init__(
+        self,
+        block: FrameBlock,
+        client_id: int,
+        vectors: np.ndarray,
+        space: SemanticFeatureSpace,
+        confusion_targets: np.ndarray,
+        confusion_weights: np.ndarray,
+    ) -> None:
+        self.block = block
+        self.client_id = client_id
+        self.vectors = vectors
+        self.confusion_targets = confusion_targets
+        self.confusion_weights = confusion_weights
+        self._space = space
+
+    def __len__(self) -> int:
+        return len(self.block)
+
+    @property
+    def space(self) -> SemanticFeatureSpace:
+        return self._space
+
+    @property
+    def class_ids(self) -> np.ndarray:
+        """Ground-truth class per sample (aligned with ``vectors``)."""
+        return self.block.class_ids
+
+    def final_vectors(self) -> np.ndarray:
+        """Final-layer representations, shape ``(B, d)`` (no copy)."""
+        return self.vectors[:, self._space.final_layer, :]
+
+    def sample(self, index: int) -> SampleFeatures:
+        """Scalar view of one batch element (shares the vector row)."""
+        return SampleFeatures(
+            frame=self.block.frame(index),
+            client_id=self.client_id,
+            vectors=self.vectors[index],
+            space=self._space,
+            confusion_target=int(self.confusion_targets[index]),
+            confusion_weight=float(self.confusion_weights[index]),
+        )
+
+    def samples(self) -> list[SampleFeatures]:
+        """Materialize every element as a scalar :class:`SampleFeatures`."""
+        return [self.sample(i) for i in range(len(self))]

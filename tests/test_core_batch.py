@@ -122,6 +122,24 @@ class TestBatchEquivalence:
         samples = _draw_samples(tiny_model, 1, 3)
         assert all(o.probes for o in engine.infer_batch(samples))
 
+    def test_sample_batch_input_matches_loose_samples(self, tiny_model):
+        """A SampleBatch feeds the engine directly (no re-stacking) with
+        outcomes identical to the equivalent list of scalar samples."""
+        rng = np.random.default_rng(31)
+        stream = StreamGenerator(
+            class_distribution=np.full(
+                tiny_model.num_classes, 1.0 / tiny_model.num_classes
+            ),
+            mean_run_length=tiny_model.dataset.mean_run_length,
+            rng=rng,
+            base_difficulty=tiny_model.dataset.difficulty,
+        )
+        batch = tiny_model.draw_samples(stream.take_block(40), 0, rng)
+        engine = BatchedInferenceEngine(tiny_model, _build_cache(tiny_model, "all_layers"))
+        _assert_outcomes_match(
+            engine.infer_batch(batch.samples()), engine.infer_batch(batch)
+        )
+
 
 class TestBatchedLookupSession:
     def test_matches_scalar_session_accumulation(self, tiny_model):
@@ -196,12 +214,14 @@ class TestClientRoundUsesBatchPath:
         client = build_client(42)
         report = client.run_round()
 
-        # Scalar replay of the identical stream/sample sequence.
+        # Scalar replay of the identical block/batch draw: consuming the
+        # stream and feature rngs at the same (block) granularity yields
+        # the identical sample sequence, which is then replayed frame by
+        # frame on the scalar engine.
         replay = build_client(42)
-        frames = replay.stream.take(config.frames_per_round)
-        samples = [
-            replay.model.draw_sample(frame, 0, replay._rng) for frame in frames
-        ]
+        block = replay.stream.take_block(config.frames_per_round)
+        batch = replay.model.draw_samples(block, 0, replay._rng)
+        samples = batch.samples()
         timestamps = np.zeros(tiny_model.num_classes)
         phi = np.zeros(tiny_model.num_classes)
         outcomes = [replay.engine.infer(s) for s in samples]
@@ -213,8 +233,8 @@ class TestClientRoundUsesBatchPath:
         assert np.array_equal(client.timestamps, timestamps)
         assert np.array_equal(report.frequencies, phi)
         assert len(report.records) == config.frames_per_round
-        for record, frame, outcome in zip(report.records, frames, outcomes):
-            assert record.true_class == frame.class_id
+        for record, sample, outcome in zip(report.records, samples, outcomes):
+            assert record.true_class == sample.true_class
             assert record.predicted_class == outcome.predicted_class
             assert record.hit_layer == outcome.hit_layer
             assert record.latency_ms == pytest.approx(outcome.latency_ms, rel=1e-12)

@@ -148,3 +148,106 @@ class TestStreamProperties:
             assert 0 <= frame.class_id < 12
             assert 0.0 <= frame.difficulty < 1.0
             assert frame.run_position >= 0
+
+
+class TestTakeBlock:
+    def test_matches_frame_invariants(self):
+        from repro.data.stream import FrameBlock
+
+        stream = _uniform_stream(seed=11)
+        block = stream.take_block(120)
+        assert isinstance(block, FrameBlock)
+        assert len(block) == 120
+        assert np.array_equal(block.stream_indices, np.arange(120))
+        assert np.all((block.class_ids >= 0) & (block.class_ids < 10))
+        assert np.all((block.difficulties >= 0.0) & (block.difficulties < 1.0))
+        assert np.all(block.run_positions >= 0)
+        # Run positions increment within a class run and reset on change.
+        for i in range(1, 120):
+            if block.class_ids[i] == block.class_ids[i - 1]:
+                assert block.run_positions[i] in (
+                    block.run_positions[i - 1] + 1,
+                    0,  # adjacent runs can share a class
+                )
+            else:
+                assert block.run_positions[i] == 0
+
+    def test_mixes_with_scalar_granularity(self):
+        stream = _uniform_stream(seed=4)
+        stream.take(7)
+        block = stream.take_block(5)
+        assert np.array_equal(block.stream_indices, np.arange(7, 12))
+        frame = stream.next_frame()
+        assert frame.stream_index == 12
+
+    def test_empty_block(self):
+        stream = _uniform_stream()
+        block = stream.take_block(0)
+        assert len(block) == 0
+        assert stream.next_frame().stream_index == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            _uniform_stream().take_block(-1)
+
+    def test_distribution_matches_scalar_path(self):
+        scalar = _uniform_stream(num_classes=6, run=4.0, seed=9)
+        block_gen = _uniform_stream(num_classes=6, run=4.0, seed=9)
+        scalar_freq = empirical_class_frequencies(scalar.take(4000), 6)
+        block_freq = empirical_class_frequencies(block_gen.take_block(4000), 6)
+        assert np.abs(scalar_freq - block_freq).max() < 0.08
+
+    def test_frameblock_roundtrip(self):
+        from repro.data.stream import FrameBlock
+
+        stream = _uniform_stream(seed=2)
+        block = stream.take_block(30)
+        frames = block.frames()
+        rebuilt = FrameBlock.from_frames(frames)
+        assert np.array_equal(rebuilt.class_ids, block.class_ids)
+        assert np.allclose(rebuilt.difficulties, block.difficulties)
+        assert np.array_equal(rebuilt.run_positions, block.run_positions)
+        assert np.array_equal(rebuilt.stream_indices, block.stream_indices)
+        assert frames[3] == block.frame(3)
+
+    def test_frameblock_shape_mismatch_rejected(self):
+        from repro.data.stream import FrameBlock
+
+        with pytest.raises(ValueError):
+            FrameBlock(
+                class_ids=np.zeros(3, dtype=np.int64),
+                difficulties=np.zeros(2),
+                run_positions=np.zeros(3, dtype=np.int64),
+                stream_indices=np.zeros(3, dtype=np.int64),
+            )
+
+
+class TestEmpiricalFrequenciesBlock:
+    def test_block_input_counts(self):
+        from repro.data.stream import FrameBlock
+
+        block = FrameBlock(
+            class_ids=np.array([0, 1, 1, 2]),
+            difficulties=np.zeros(4),
+            run_positions=np.zeros(4, dtype=np.int64),
+            stream_indices=np.arange(4),
+        )
+        freqs = empirical_class_frequencies(block, 4)
+        assert freqs.sum() == pytest.approx(1.0)
+        assert freqs[1] == pytest.approx(0.5)
+
+    def test_block_out_of_range_rejected(self):
+        from repro.data.stream import FrameBlock
+
+        block = FrameBlock(
+            class_ids=np.array([0, 9]),
+            difficulties=np.zeros(2),
+            run_positions=np.zeros(2, dtype=np.int64),
+            stream_indices=np.arange(2),
+        )
+        with pytest.raises(ValueError):
+            empirical_class_frequencies(block, 3)
+
+    def test_negative_class_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_class_frequencies([Frame(-1, 0.1, 0, 0)], 3)

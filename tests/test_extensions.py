@@ -251,8 +251,11 @@ class TestDesignAblations:
         assert all(p.latency_ms > 0 for p in points)
 
     def test_hotspot_mass_widens_cache(self, scenario):
+        # A single measured round is dominated by allocation noise at
+        # this scale (2 clients); three rounds make the relationship
+        # observable.
         points = run_hotspot_mass_ablation(
-            scenario, masses=(0.80, 0.999), rounds=1, warmup=1
+            scenario, masses=(0.80, 0.999), rounds=3, warmup=1
         )
         # Near-total mass caches more classes => hit ratio at least as high.
         assert points[1].hit_ratio_pct >= points[0].hit_ratio_pct - 5.0

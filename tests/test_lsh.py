@@ -166,3 +166,46 @@ class TestHomogenizedKnn:
         labels = rng.integers(0, 3, 12)
         vote = homogenized_knn(_unit_rows(rng, 1, 6)[0], vectors, labels, k=5)
         assert 0.0 <= vote.homogeneity <= 1.0
+
+
+class TestQueryBatch:
+    def test_matches_per_vector_query(self, rng):
+        index = AdaptiveLSH(dim=12, rng=rng, base_bits=4, max_bucket_size=6)
+        vectors = _unit_rows(rng, 80, 12)
+        for vec in vectors:
+            index.insert(vec)
+        queries = np.vstack([vectors[:10], _unit_rows(rng, 10, 12)])
+        batched = index.query_batch(queries)
+        singles = [index.query(q) for q in queries]
+        assert batched == singles
+
+    def test_matches_after_deletes(self, rng):
+        index = AdaptiveLSH(dim=10, rng=rng, base_bits=3, max_bucket_size=4)
+        vectors = _unit_rows(rng, 60, 10)
+        ids = [index.insert(vec) for vec in vectors]
+        for item in ids[::3]:
+            index.delete(item)
+        batched = index.query_batch(vectors)
+        singles = [index.query(vec) for vec in vectors]
+        assert batched == singles
+        deleted = set(ids[::3])
+        for bucket in batched:
+            assert not deleted & set(bucket)
+
+    def test_purges_dead_entries(self, rng):
+        index = AdaptiveLSH(dim=8, rng=rng)
+        vec = _unit_rows(rng, 1, 8)[0]
+        item = index.insert(vec)
+        index.delete(item)
+        assert index.query_batch(vec[None, :]) == [[]]
+
+    def test_empty_batch(self, rng):
+        index = AdaptiveLSH(dim=8, rng=rng)
+        assert index.query_batch(np.zeros((0, 8))) == []
+
+    def test_rejects_bad_shape(self, rng):
+        index = AdaptiveLSH(dim=8, rng=rng)
+        with pytest.raises(ValueError):
+            index.query_batch(np.zeros(8))
+        with pytest.raises(ValueError):
+            index.query_batch(np.zeros((3, 5)))

@@ -225,3 +225,133 @@ class TestFeatureProperties:
         )
         for layer in (0, space.num_layers // 2, space.num_layers):
             assert np.linalg.norm(sample.vector(layer)) == pytest.approx(1.0)
+
+
+class TestDrawSamples:
+    """Batched draw: invariants plus distributional match to draw_sample."""
+
+    def _block(self, space, count, seed=0, difficulty=0.3):
+        from repro.data.stream import FrameBlock
+
+        rng = np.random.default_rng(seed)
+        return FrameBlock(
+            class_ids=rng.integers(0, space.num_classes, count),
+            difficulties=np.full(count, difficulty),
+            run_positions=np.zeros(count, dtype=np.int64),
+            stream_indices=np.arange(count),
+        )
+
+    def test_shapes_and_unit_norms(self):
+        space = _space()
+        block = self._block(space, 40)
+        batch = space.draw_samples(block, 0, np.random.default_rng(1))
+        assert len(batch) == 40
+        assert batch.vectors.shape == (40, space.num_layers + 1, space.config.dim)
+        norms = np.linalg.norm(batch.vectors, axis=-1)
+        assert np.allclose(norms, 1.0)
+        assert batch.confusion_targets.shape == (40,)
+        assert batch.confusion_weights.shape == (40,)
+        assert np.all(batch.confusion_weights >= 0.0)
+        assert np.all(batch.confusion_weights <= space.config.w_cap)
+
+    def test_confusion_targets_are_distinct_siblings(self):
+        space = _space()
+        block = self._block(space, 200)
+        batch = space.draw_samples(block, 0, np.random.default_rng(2))
+        for class_id, target in zip(block.class_ids, batch.confusion_targets):
+            assert target in space.siblings_of(int(class_id))
+            assert target != class_id
+
+    def test_accepts_frame_list(self):
+        space = _space()
+        frames = [_frame(class_id=c % space.num_classes) for c in range(10)]
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        from repro.data.stream import FrameBlock
+
+        batch_list = space.draw_samples(frames, 0, rng_a)
+        batch_block = space.draw_samples(FrameBlock.from_frames(frames), 0, rng_b)
+        assert np.array_equal(batch_list.vectors, batch_block.vectors)
+
+    def test_empty_batch(self):
+        space = _space()
+        batch = space.draw_samples([], 0, np.random.default_rng(0))
+        assert len(batch) == 0
+        assert batch.vectors.shape == (0, space.num_layers + 1, space.config.dim)
+
+    def test_validation(self):
+        space = _space()
+        block = self._block(space, 5)
+        with pytest.raises(ValueError):
+            space.draw_samples(block, space.num_clients, np.random.default_rng(0))
+        bad = self._block(space, 5)
+        object.__setattr__(bad, "class_ids", np.array([0, 1, 2, 3, 99]))
+        with pytest.raises(ValueError):
+            space.draw_samples(bad, 0, np.random.default_rng(0))
+
+    def test_sample_view_shares_vectors(self):
+        space = _space()
+        block = self._block(space, 8)
+        batch = space.draw_samples(block, 1, np.random.default_rng(5))
+        sample = batch.sample(3)
+        assert sample.client_id == 1
+        assert sample.frame.class_id == int(block.class_ids[3])
+        assert np.shares_memory(sample.vector_matrix(), batch.vectors)
+        for layer in range(space.num_layers + 1):
+            assert np.array_equal(sample.vector(layer), batch.vectors[3, layer])
+
+    def test_classification_consistent_with_scalar_view(self):
+        space = _space()
+        block = self._block(space, 30)
+        batch = space.draw_samples(block, 0, np.random.default_rng(6))
+        predictions, gaps = space.classify_vectors(batch.final_vectors())
+        for i in range(30):
+            sample = batch.sample(i)
+            assert sample.model_prediction() == predictions[i]
+            probs = np.sort(sample.probabilities())
+            assert gaps[i] == pytest.approx(probs[-1] - probs[-2], rel=1e-9)
+
+    def test_distribution_matches_scalar_draw(self):
+        """Batched and scalar draws follow the same generative process:
+        compare own-centroid cosine distributions at the deepest layer."""
+        space = _space()
+        count = 1500
+        block = self._block(space, count, seed=8, difficulty=0.3)
+        batch = space.draw_samples(block, 0, np.random.default_rng(11))
+        rng = np.random.default_rng(12)
+        scalar = [
+            space.draw_sample(block.frame(i), 0, rng) for i in range(count)
+        ]
+        layer = space.num_layers  # final representation
+        own = space.centroid_matrix(layer)[block.class_ids]
+        batch_cos = np.einsum("bd,bd->b", batch.vectors[:, layer, :], own)
+        scalar_cos = np.array(
+            [s.vector(layer) @ own[i] for i, s in enumerate(scalar)]
+        )
+        assert abs(batch_cos.mean() - scalar_cos.mean()) < 0.02
+        assert abs(np.quantile(batch_cos, 0.25) - np.quantile(scalar_cos, 0.25)) < 0.03
+        assert abs(np.quantile(batch_cos, 0.75) - np.quantile(scalar_cos, 0.75)) < 0.03
+        # The two-mode weight draw: hard fraction matches.
+        batch_hard = np.mean(batch.confusion_weights > 0.4)
+        scalar_hard = np.mean([s.confusion_weight > 0.4 for s in scalar])
+        assert abs(batch_hard - scalar_hard) < 0.05
+
+    def test_drift_moves_batch_toward_client_centroid(self):
+        space = _space(client_drift_scale=0.35)
+        count = 400
+        block = self._block(space, count, seed=4)
+        batch = space.draw_samples(block, 1, np.random.default_rng(3))
+        layer = space.num_layers - 1
+        client_cos = np.mean(
+            [
+                batch.vectors[i, layer] @ space.client_centroid(1, int(c), layer)
+                for i, c in enumerate(block.class_ids)
+            ]
+        )
+        global_cos = np.mean(
+            [
+                batch.vectors[i, layer] @ space.centroid(int(c), layer)
+                for i, c in enumerate(block.class_ids)
+            ]
+        )
+        assert client_cos > global_cos

@@ -75,11 +75,12 @@ class TestZooAccuracy:
         ],
     )
     def test_edge_only_accuracy_anchor(self, name, dataset, subset, target):
-        """No-cache accuracy within ~3.5pt of the paper's Edge-Only (the
-        Monte-Carlo estimate over 1200 frames carries ~+-1.5pt noise)."""
+        """No-cache accuracy within ~3.5pt of the paper's Edge-Only (4000
+        frames keep the Monte-Carlo noise well under +-1pt, so the bound
+        tests the substrate calibration rather than the seed)."""
         ds = get_dataset(dataset, subset)
         model = build_model(name, ds, seed=1)
-        acc = 100 * model.measure_accuracy(1200, np.random.default_rng(7))
+        acc = 100 * model.measure_accuracy(4000, np.random.default_rng(7))
         assert acc == pytest.approx(target, abs=3.5)
 
     def test_deeper_resnet_is_more_accurate(self):

@@ -1,0 +1,331 @@
+"""Round-report equivalence: vectorized round pipeline vs scalar reference.
+
+The end-to-end vectorized round (block frame generation, batched sample
+draw, SoA inference, grouped Eq. 3 collection, one-pass Eq. 4 merge) must
+be a pure performance optimization.  Given the *same* pre-drawn
+:class:`~repro.models.feature.SampleBatch`, ``CoCaClient.run_round`` and
+``CoCaClient.run_round_reference`` must produce identical
+:class:`RoundReport` contents — records, update tables, phi/tau vectors,
+absorption diagnostics — and ``CoCaServer.apply_client_update`` /
+``apply_client_update_reference`` must then produce identical global
+tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.client import CoCaClient
+from repro.core.config import CoCaConfig
+from repro.core.engine import BatchedInferenceEngine, CachedInferenceEngine
+from repro.core.server import CoCaServer, GlobalCacheTable
+from repro.data.stream import StreamGenerator
+
+
+def _build_client(tiny_model, seed, frames=120, theta=0.05):
+    config = CoCaConfig(frames_per_round=frames, theta=theta)
+    stream = StreamGenerator(
+        class_distribution=np.full(
+            tiny_model.num_classes, 1.0 / tiny_model.num_classes
+        ),
+        mean_run_length=tiny_model.dataset.mean_run_length,
+        rng=np.random.default_rng(seed + 1),
+        base_difficulty=tiny_model.dataset.difficulty,
+    )
+    return CoCaClient(
+        client_id=0,
+        model=tiny_model,
+        stream=stream,
+        config=config,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _all_layer_cache(tiny_model, theta=0.05):
+    from repro.core.cache import SemanticCache
+
+    cache = SemanticCache(tiny_model.num_classes, theta=theta)
+    for layer in range(tiny_model.num_cache_layers):
+        cache.set_layer_entries(
+            layer,
+            np.arange(tiny_model.num_classes),
+            tiny_model.ideal_centroids(layer),
+        )
+    return cache
+
+
+def _assert_reports_equal(fast, ref):
+    assert len(fast.records) == len(ref.records)
+    for a, b in zip(fast.records, ref.records):
+        assert a.true_class == b.true_class
+        assert a.predicted_class == b.predicted_class
+        assert a.hit_layer == b.hit_layer
+        assert a.latency_ms == pytest.approx(b.latency_ms, rel=1e-12, abs=1e-12)
+        assert a.client_id == b.client_id
+    assert np.array_equal(fast.frequencies, ref.frequencies)
+    assert set(fast.update_entries) == set(ref.update_entries)
+    for key in fast.update_entries:
+        assert np.allclose(
+            fast.update_entries[key], ref.update_entries[key], atol=1e-9
+        ), key
+    assert fast.eligible_hits == ref.eligible_hits
+    assert fast.eligible_misses == ref.eligible_misses
+    assert fast.absorbed_hits == ref.absorbed_hits
+    assert fast.absorbed_misses == ref.absorbed_misses
+    assert fast.collected_total == ref.collected_total
+    assert fast.collected_correct == ref.collected_correct
+
+
+class TestClientRoundEquivalence:
+    @pytest.mark.parametrize("seed", [0, 3, 21])
+    def test_round_report_matches_reference(self, tiny_model, seed):
+        fast = _build_client(tiny_model, seed)
+        ref = _build_client(tiny_model, seed)
+        cache = _all_layer_cache(tiny_model)
+        fast.install_cache(cache)
+        ref.install_cache(cache)
+        block = fast.stream.take_block(fast.config.frames_per_round)
+        batch = tiny_model.draw_samples(block, 0, fast._rng)
+
+        report_fast = fast.run_round(batch=batch)
+        report_ref = ref.run_round_reference(batch=batch)
+
+        _assert_reports_equal(report_fast, report_ref)
+        assert np.array_equal(fast.timestamps, ref.timestamps)
+        assert np.array_equal(fast.last_frequencies, ref.last_frequencies)
+        assert np.allclose(fast.hit_ratio, ref.hit_ratio)
+
+    def test_cacheless_round_matches_reference(self, tiny_model):
+        fast = _build_client(tiny_model, 5, frames=60)
+        ref = _build_client(tiny_model, 5, frames=60)
+        block = fast.stream.take_block(60)
+        batch = tiny_model.draw_samples(block, 0, fast._rng)
+        _assert_reports_equal(
+            fast.run_round(batch=batch), ref.run_round_reference(batch=batch)
+        )
+
+    def test_low_gamma_collects_everything_identically(self, tiny_model):
+        """Force heavy collection (Gamma=Delta=0) so the grouped Eq. 3
+        fold exercises long per-key chains."""
+        config = CoCaConfig(frames_per_round=100, collect_gamma=0.0, collect_delta=0.0)
+        clients = []
+        for _ in range(2):
+            stream = StreamGenerator(
+                class_distribution=np.full(
+                    tiny_model.num_classes, 1.0 / tiny_model.num_classes
+                ),
+                mean_run_length=tiny_model.dataset.mean_run_length,
+                rng=np.random.default_rng(8),
+                base_difficulty=tiny_model.dataset.difficulty,
+            )
+            client = CoCaClient(
+                client_id=0,
+                model=tiny_model,
+                stream=stream,
+                config=config,
+                rng=np.random.default_rng(9),
+            )
+            client.install_cache(_all_layer_cache(tiny_model))
+            clients.append(client)
+        fast, ref = clients
+        batch = tiny_model.draw_samples(fast.stream.take_block(100), 0, fast._rng)
+        report_fast = fast.run_round(batch=batch)
+        report_ref = ref.run_round_reference(batch=batch)
+        assert report_fast.collected_total == 100
+        _assert_reports_equal(report_fast, report_ref)
+
+    def test_run_round_draws_from_stream_when_no_batch(self, tiny_model):
+        client = _build_client(tiny_model, 13, frames=40)
+        client.install_cache(_all_layer_cache(tiny_model))
+        report = client.run_round()
+        assert len(report.records) == 40
+        assert report.frequencies.sum() == 40
+
+    def test_rejects_empty_round(self, tiny_model):
+        client = _build_client(tiny_model, 1)
+        with pytest.raises(ValueError):
+            client.run_round(0)
+        with pytest.raises(ValueError):
+            client.run_round_reference(0)
+
+
+class TestServerMergeEquivalence:
+    def _update_table(self, tiny_model, seed, entries=30):
+        rng = np.random.default_rng(seed)
+        table: dict[tuple[int, int], np.ndarray] = {}
+        dim = tiny_model.feature_space.config.dim
+        while len(table) < entries:
+            key = (
+                int(rng.integers(tiny_model.num_classes)),
+                int(rng.integers(tiny_model.num_cache_layers)),
+            )
+            vec = rng.standard_normal(dim)
+            table[key] = vec / np.linalg.norm(vec)
+        return table
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_vectorized_merge_matches_reference(self, tiny_model, seed):
+        config = CoCaConfig()
+        fast = CoCaServer(tiny_model, config)
+        ref = CoCaServer(tiny_model, config)
+        for server in (fast, ref):
+            server.initialize_from_shared_dataset(
+                np.random.default_rng(0), calibration_samples=60
+            )
+        updates = self._update_table(tiny_model, seed)
+        freq = np.random.default_rng(seed + 1).integers(
+            0, 12, tiny_model.num_classes
+        ).astype(float)
+        fast.apply_client_update(updates, freq)
+        ref.apply_client_update_reference(updates, freq)
+        assert np.allclose(fast.table.entries, ref.table.entries, atol=1e-12)
+        assert np.array_equal(fast.table.filled, ref.table.filled)
+        assert np.array_equal(fast.table.class_freq, ref.table.class_freq)
+
+    def test_merge_into_partially_filled_table(self, tiny_model):
+        """Unfilled slots install, filled slots blend — in one pass."""
+        dim = tiny_model.feature_space.config.dim
+        tables = [
+            GlobalCacheTable(tiny_model.num_classes, tiny_model.num_cache_layers, dim)
+            for _ in range(2)
+        ]
+        rng = np.random.default_rng(3)
+        for table in tables:
+            table.class_freq += 5.0
+            table.install(0, 0, np.eye(dim)[0])
+            table.install(2, 1, np.eye(dim)[1])
+        updates = self._update_table(tiny_model, 4, entries=20)
+        freq = rng.integers(1, 6, tiny_model.num_classes).astype(float)
+        fast, ref = tables
+        keys = np.array(list(updates.keys()), dtype=int)
+        vectors = np.stack(list(updates.values()))
+        fast.merge_updates(keys[:, 0], keys[:, 1], vectors, freq[keys[:, 0]], 0.99)
+        for (class_id, layer), vec in updates.items():
+            ref.merge_update(class_id, layer, vec, float(freq[class_id]), 0.99)
+        assert np.allclose(fast.entries, ref.entries, atol=1e-12)
+        assert np.array_equal(fast.filled, ref.filled)
+
+    def test_zero_frequency_entries_skipped(self, tiny_model):
+        dim = tiny_model.feature_space.config.dim
+        table = GlobalCacheTable(tiny_model.num_classes, tiny_model.num_cache_layers, dim)
+        vec = np.eye(dim)[0]
+        table.merge_updates(
+            np.array([1]), np.array([0]), vec[None, :], np.array([0.0]), 0.99
+        )
+        assert not table.filled[1, 0]
+
+    def test_merge_updates_validation(self, tiny_model):
+        dim = tiny_model.feature_space.config.dim
+        table = GlobalCacheTable(tiny_model.num_classes, tiny_model.num_cache_layers, dim)
+        vec = np.eye(dim)[:1]
+        with pytest.raises(ValueError):  # duplicate keys
+            table.merge_updates(
+                np.array([1, 1]),
+                np.array([0, 0]),
+                np.vstack([vec, vec]),
+                np.array([1.0, 1.0]),
+                0.99,
+            )
+        with pytest.raises(ValueError):  # negative frequency
+            table.merge_updates(
+                np.array([1]), np.array([0]), vec, np.array([-1.0]), 0.99
+            )
+        with pytest.raises(ValueError):  # class out of range
+            table.merge_updates(
+                np.array([tiny_model.num_classes]),
+                np.array([0]),
+                vec,
+                np.array([1.0]),
+                0.99,
+            )
+        with pytest.raises(ValueError):  # layer out of range
+            table.merge_updates(
+                np.array([0]),
+                np.array([tiny_model.num_cache_layers]),
+                vec,
+                np.array([1.0]),
+                0.99,
+            )
+        with pytest.raises(ValueError):  # shape mismatch
+            table.merge_updates(
+                np.array([0]), np.array([0]), vec[:, :4], np.array([1.0]), 0.99
+            )
+
+
+class TestEndToEndEquivalence:
+    def test_multi_client_round_and_merge(self, tiny_model):
+        """Two identical deployments: one runs the vectorized pipeline,
+        one the scalar reference, both on the same pre-drawn batches —
+        the merged global tables must coincide."""
+        config = CoCaConfig(frames_per_round=80, theta=0.05)
+        servers = [CoCaServer(tiny_model, config) for _ in range(2)]
+        for server in servers:
+            server.initialize_from_shared_dataset(
+                np.random.default_rng(1), calibration_samples=80
+            )
+        fast_server, ref_server = servers
+        for client_seed in range(3):
+            fast = _build_client(tiny_model, client_seed, frames=80)
+            ref = _build_client(tiny_model, client_seed, frames=80)
+            status = fast.status()
+            cache_fast, _ = fast_server.allocate(
+                status.timestamps,
+                status.hit_ratio,
+                status.cache_budget_bytes,
+                local_freq=status.frequencies,
+            )
+            status_ref = ref.status()
+            cache_ref, _ = ref_server.allocate(
+                status_ref.timestamps,
+                status_ref.hit_ratio,
+                status_ref.cache_budget_bytes,
+                local_freq=status_ref.frequencies,
+            )
+            fast.install_cache(cache_fast)
+            ref.install_cache(cache_ref)
+            batch = tiny_model.draw_samples(
+                fast.stream.take_block(80), 0, fast._rng
+            )
+            report_fast = fast.run_round(batch=batch)
+            report_ref = ref.run_round_reference(batch=batch)
+            _assert_reports_equal(report_fast, report_ref)
+            fast_server.apply_client_update(
+                report_fast.update_entries, report_fast.frequencies
+            )
+            ref_server.apply_client_update_reference(
+                report_ref.update_entries, report_ref.frequencies
+            )
+        assert np.allclose(
+            fast_server.table.entries, ref_server.table.entries, atol=1e-9
+        )
+        assert np.array_equal(fast_server.table.filled, ref_server.table.filled)
+        assert np.array_equal(
+            fast_server.table.class_freq, ref_server.table.class_freq
+        )
+
+    def test_soa_outcomes_match_object_outcomes(self, tiny_model):
+        """BatchOutcomes arrays must mirror the per-sample outcome objects."""
+        cache = _all_layer_cache(tiny_model)
+        client = _build_client(tiny_model, 2, frames=60)
+        client.install_cache(cache)
+        batch = tiny_model.draw_samples(client.stream.take_block(60), 0, client._rng)
+        soa = client.batch_engine.infer_batch_soa(batch)
+        objects = BatchedInferenceEngine(tiny_model, cache).infer_batch(batch)
+        scalar_engine = CachedInferenceEngine(tiny_model, cache)
+        for i, outcome in enumerate(objects):
+            assert soa.predicted_class[i] == outcome.predicted_class
+            expected_layer = -1 if outcome.hit_layer is None else outcome.hit_layer
+            assert soa.hit_layer[i] == expected_layer
+            assert soa.latency_ms[i] == pytest.approx(outcome.latency_ms, rel=1e-12)
+            if outcome.hit_score is None:
+                assert np.isnan(soa.hit_score[i])
+            else:
+                assert soa.hit_score[i] == pytest.approx(outcome.hit_score, rel=1e-9)
+            if outcome.top2_prob_gap is None:
+                assert np.isnan(soa.top2_prob_gap[i])
+            else:
+                assert soa.top2_prob_gap[i] == pytest.approx(
+                    outcome.top2_prob_gap, rel=1e-9
+                )
+            scalar = scalar_engine.infer(batch.sample(i))
+            assert scalar.predicted_class == outcome.predicted_class
+            assert scalar.hit_layer == outcome.hit_layer

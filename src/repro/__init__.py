@@ -9,20 +9,25 @@ Public API overview:
   a synthetic semantic feature space (see DESIGN.md for the substitution).
 * :mod:`repro.data` — dataset specs, non-IID / long-tail constructions and
   temporally-local stream generators.
+* :mod:`repro.cluster` — sharded multi-node scale-out: class-sharded
+  global cache, routed clients, cross-shard sync, event-driven fleet
+  driver.
 * :mod:`repro.baselines` — Edge-Only, LearnedCache, FoggyCache, SMTM and
   classical replacement policies.
 * :mod:`repro.experiments` — one driver per paper table/figure.
 * :mod:`repro.sim`, :mod:`repro.lsh`, :mod:`repro.analysis` — substrates.
 """
 
+from repro.cluster import ClusterFramework
 from repro.core import CoCaConfig, CoCaFramework, SemanticCache, aca_allocate
 from repro.data import get_dataset
 from repro.experiments import Scenario
 from repro.models import build_model
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ClusterFramework",
     "CoCaConfig",
     "CoCaFramework",
     "Scenario",

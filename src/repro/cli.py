@@ -5,8 +5,11 @@ Usage::
     python -m repro info
     python -m repro compare --dataset ucf101 --classes 50 --model resnet101 \
         --clients 4 --non-iid 1 --rounds 3 --methods edge,coca,smtm
+    python -m repro compare --methods edge,coca --json
     python -m repro sweep-theta --dataset ucf101 --classes 50 \
         --model resnet101 --thetas 0.03,0.05,0.07
+    python -m repro cluster --shards 4 --clients 64 --sync-interval 1 \
+        --policy region --rounds 2
 
 All runs are fully offline and deterministic for a given ``--seed``.
 """
@@ -14,14 +17,17 @@ All runs are fully offline and deterministic for a given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.baselines import CoCaRunner, EdgeOnly, FoggyCache, LearnedCache, SMTM
+from repro.cluster import ASSIGNMENT_POLICIES, ClusterFramework
 from repro.core.config import CoCaConfig
 from repro.data.datasets import get_dataset
 from repro.experiments.scenario import Scenario
 from repro.experiments.slo import fresh_scenario
 from repro.models.zoo import available_models
+from repro.sim.network import ServerLoadModel
 
 METHOD_NAMES = {
     "edge": "Edge-Only",
@@ -73,19 +79,113 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(f"unknown methods: {unknown}; see `python -m repro info`",
               file=sys.stderr)
         return 2
-    print(
-        f"{scenario.model_name} on {scenario.dataset.name}, "
-        f"{scenario.num_clients} clients, p={scenario.non_iid_level:g}, "
-        f"rho={scenario.longtail_rho:g}, seed={scenario.seed}\n"
-    )
-    print(f"{'method':14s}{'latency':>10s}{'accuracy':>10s}{'hit ratio':>11s}")
+    if not args.json:
+        print(
+            f"{scenario.model_name} on {scenario.dataset.name}, "
+            f"{scenario.num_clients} clients, p={scenario.non_iid_level:g}, "
+            f"rho={scenario.longtail_rho:g}, seed={scenario.seed}\n"
+        )
+        print(f"{'method':14s}{'latency':>10s}{'accuracy':>10s}{'hit ratio':>11s}")
+    rows: dict[str, dict[str, float]] = {}
     for key in keys:
         runner = _build_runner(key, fresh_scenario(scenario), args.theta)
         summary = runner.run(args.rounds, warmup_rounds=args.warmup).summary()
+        if args.json:
+            rows[key] = summary.as_row()
+            continue
         hit = f"{100 * summary.hit_ratio:9.1f}%" if summary.hit_ratio else "        —"
         print(
             f"{METHOD_NAMES[key]:14s}{summary.avg_latency_ms:9.2f}ms"
             f"{100 * summary.accuracy:9.1f}%{hit:>11s}"
+        )
+    if args.json:
+        print(json.dumps(
+            {
+                "scenario": {
+                    "model": scenario.model_name,
+                    "dataset": scenario.dataset.name,
+                    "clients": scenario.num_clients,
+                    "non_iid": scenario.non_iid_level,
+                    "longtail_rho": scenario.longtail_rho,
+                    "rounds": args.rounds,
+                    "seed": scenario.seed,
+                    "theta": args.theta,
+                },
+                "methods": rows,
+            },
+            indent=2,
+        ))
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    dataset = get_dataset(args.dataset, args.classes)
+    config = CoCaConfig(theta=args.theta, frames_per_round=args.frames)
+    load = ServerLoadModel(service_time_ms=args.service_ms)
+    cluster = ClusterFramework(
+        dataset=dataset,
+        model_name=args.model,
+        num_shards=args.shards,
+        num_clients=args.clients,
+        config=config,
+        seed=args.seed,
+        non_iid_level=args.non_iid,
+        longtail_rho=args.longtail,
+        sync_interval=args.sync_interval,
+        assignment_policy=args.policy,
+        load=load,
+        merge_service_ms=args.merge_ms,
+    )
+    result = cluster.run(args.rounds, warmup_rounds=args.warmup)
+    summary = result.summary()
+    payload = {
+        "scenario": {
+            "model": args.model,
+            "dataset": dataset.name,
+            "shards": args.shards,
+            "clients": args.clients,
+            "sync_interval": args.sync_interval,
+            "policy": args.policy,
+            "rounds": args.rounds,
+            "seed": args.seed,
+        },
+        "throughput_inferences_per_s": round(
+            result.throughput_inferences_per_s, 2
+        ),
+        "virtual_span_ms": round(result.measured_span_ms, 2),
+        "metrics": summary.as_row(),
+        "nodes": [
+            {
+                "node": node.node_id,
+                "clients": len(node.assigned_clients),
+                "requests": node.requests_served,
+                "mean_wait_ms": round(node.mean_wait_ms, 2),
+                "busy_ms": round(node.total_busy_ms, 2),
+            }
+            for node in result.nodes
+        ],
+        "cross_shard_syncs": result.coordinator.syncs_performed,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{args.model} on {dataset.name}, {args.shards} shards, "
+        f"{args.clients} clients, sync={args.sync_interval}, "
+        f"policy={args.policy}, seed={args.seed}\n"
+    )
+    print(
+        f"throughput {result.throughput_inferences_per_s:8.0f} inf/vs   "
+        f"latency {summary.avg_latency_ms:7.2f}ms   "
+        f"accuracy {100 * summary.accuracy:5.1f}%   "
+        f"hit ratio {100 * summary.hit_ratio:5.1f}%"
+    )
+    print(f"\n{'node':>5s}{'clients':>9s}{'requests':>10s}"
+          f"{'mean wait':>11s}{'busy':>10s}")
+    for row in payload["nodes"]:
+        print(
+            f"{row['node']:5d}{row['clients']:9d}{row['requests']:10d}"
+            f"{row['mean_wait_ms']:9.1f}ms{row['busy_ms']:8.0f}ms"
         )
     return 0
 
@@ -133,12 +233,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_args(compare)
     compare.add_argument("--methods", default="edge,coca",
                          help="comma-separated (see `info`)")
+    compare.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of a table")
     compare.set_defaults(func=cmd_compare)
 
     sweep = sub.add_parser("sweep-theta", help="CoCa threshold sweep")
     _add_scenario_args(sweep)
     sweep.add_argument("--thetas", default="0.03,0.05,0.07")
     sweep.set_defaults(func=cmd_sweep_theta)
+
+    cluster = sub.add_parser(
+        "cluster", help="run a sharded multi-node cluster deployment"
+    )
+    _add_scenario_args(cluster)
+    cluster.add_argument("--shards", type=int, default=4,
+                         help="shard (= node) count")
+    cluster.add_argument("--sync-interval", dest="sync_interval", type=int,
+                         default=1, help="rounds between cross-shard syncs")
+    cluster.add_argument("--policy", default="hash",
+                         choices=ASSIGNMENT_POLICIES,
+                         help="client -> node assignment policy")
+    cluster.add_argument("--frames", type=int, default=60,
+                         help="frames per round (F)")
+    cluster.add_argument("--service-ms", dest="service_ms", type=float,
+                         default=1.35, help="per-request node service time")
+    cluster.add_argument("--merge-ms", dest="merge_ms", type=float,
+                         default=0.5, help="per-upload-piece merge time")
+    cluster.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of a table")
+    cluster.set_defaults(func=cmd_cluster)
     return parser
 
 

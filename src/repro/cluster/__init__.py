@@ -1,0 +1,44 @@
+"""Sharded edge-server cluster: the horizontal scaling layer.
+
+One :class:`~repro.core.server.CoCaServer` holding the entire global
+cache table is the paper's deployment; this package is the scale-out
+story on top of it.  The table's rows (classes) are partitioned across N
+shards (:class:`ClassShardRouter`, :class:`ShardedGlobalCache`), each
+hosted on an :class:`EdgeServerNode` with its own queueing behaviour;
+clients are routed to nodes by hash, region affinity, or load
+(:func:`assign_clients`); and a :class:`ClusterCoordinator` bounds
+cross-shard staleness with a configurable sync interval.
+:class:`ClusterFramework` drives the whole fleet on virtual clocks.
+
+Because Eq. 4 merges are independent per ``(class, layer)`` key, a
+1-shard cluster — and an N-shard cluster at sync interval 1 — reproduces
+the single-server protocol exactly; what sharding changes is the virtual
+timeline: server-side work that a single node serializes is spread over
+N queues (see ``benchmarks/test_cluster_scale.py``).
+"""
+
+from repro.cluster.coordinator import (
+    ASSIGNMENT_POLICIES,
+    ClusterCoordinator,
+    assign_clients,
+)
+from repro.cluster.driver import (
+    ClusterFramework,
+    ClusterResult,
+    ClusterRoundSummary,
+)
+from repro.cluster.node import EdgeServerNode, RequestTiming
+from repro.cluster.sharding import ClassShardRouter, ShardedGlobalCache
+
+__all__ = [
+    "ASSIGNMENT_POLICIES",
+    "ClassShardRouter",
+    "ClusterCoordinator",
+    "ClusterFramework",
+    "ClusterResult",
+    "ClusterRoundSummary",
+    "EdgeServerNode",
+    "RequestTiming",
+    "ShardedGlobalCache",
+    "assign_clients",
+]

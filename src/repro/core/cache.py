@@ -195,6 +195,40 @@ class SemanticCache:
             for layer, (ids, _) in self._layers.items()
         )
 
+    def content_equal(self, other: "SemanticCache", atol: float = 0.0) -> bool:
+        """Whether two caches would serve identical lookups.
+
+        Compares the lookup-relevant state: hyper-parameters (alpha,
+        theta), the activated layers, each layer's (class id, centroid)
+        entries, and the per-layer similarity floors.  With ``atol=0`` the
+        centroid comparison is exact — the contract a replicated server
+        must satisfy (e.g. a 1-shard cluster node against the
+        single-server reference).
+        """
+        if (
+            self.num_classes != other.num_classes
+            or self.alpha != other.alpha
+            or self.theta != other.theta
+            or self.active_layers != other.active_layers
+        ):
+            return False
+        for layer in self.active_layers:
+            ids_a, mat_a = self._layers[layer]
+            ids_b, mat_b = other._layers[layer]
+            if not np.array_equal(ids_a, ids_b):
+                return False
+            if atol == 0.0:
+                if not np.array_equal(mat_a, mat_b):
+                    return False
+            elif not np.allclose(mat_a, mat_b, atol=atol, rtol=0.0):
+                return False
+            floor_gap = abs(
+                self.similarity_floor(layer) - other.similarity_floor(layer)
+            )
+            if floor_gap > atol:
+                return False
+        return True
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

@@ -100,6 +100,16 @@ class RoundReport:
     collected_correct: int = 0
     collected_total: int = 0
 
+    @property
+    def total_latency_ms(self) -> float:
+        """Summed virtual inference latency of the round.
+
+        The time the client's device was busy computing this round —
+        what an event-driven driver charges to the client's clock between
+        receiving a cache and uploading the round's update table.
+        """
+        return float(sum(r.latency_ms for r in self.records))
+
 
 class CoCaClient:
     """One edge client participating in the CoCa protocol.

@@ -142,6 +142,9 @@ class CoCaFramework:
                     for dist in distributions
                 ]
             )
+        #: Per-client class distributions, ``(num_clients, num_classes)``
+        #: (read by the cluster driver's region-affinity assignment).
+        self.distributions = distributions
 
         self.server = CoCaServer(model, self.config)
         self.server.initialize_from_shared_dataset(np.random.default_rng(server_seed))
@@ -197,6 +200,11 @@ class CoCaFramework:
             size_bytes=size,
             scores=np.ones(num_classes),
         )
+
+    @property
+    def static_allocation(self) -> AllocationResult | None:
+        """The fixed allocation used when DCA is disabled (else ``None``)."""
+        return self._static_allocation
 
     # ------------------------------------------------------------------
     # Driving

@@ -38,6 +38,22 @@ from repro.models.base import SimulatedModel
 _EPS = 1e-12
 
 
+def unpack_update_entries(
+    update_entries: dict[tuple[int, int], np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split an uploaded update table into (class ids, layers, vectors).
+
+    The one place that knows the wire representation of a client's cache
+    update table; both the single-server merge
+    (:meth:`CoCaServer.apply_client_update`) and the sharded write path
+    (:meth:`repro.cluster.sharding.ShardedGlobalCache.apply_client_update`)
+    unpack through it, so the two can never diverge.
+    """
+    keys = np.array(list(update_entries.keys()), dtype=int)
+    vectors = np.stack(list(update_entries.values()))
+    return keys[:, 0], keys[:, 1], vectors
+
+
 class GlobalCacheTable:
     """The I x L table of per-(class, layer) semantic centroids.
 
@@ -175,6 +191,14 @@ class GlobalCacheTable:
         if np.any(phi < 0):
             raise ValueError("frequencies must be non-negative")
         self.class_freq += phi
+
+    def copy(self) -> "GlobalCacheTable":
+        """An independent deep copy (replica seeding, shard snapshots)."""
+        table = GlobalCacheTable(self.num_classes, self.num_layers, self.dim)
+        table.entries = self.entries.copy()
+        table.filled = self.filled.copy()
+        table.class_freq = self.class_freq.copy()
+        return table
 
     def subtable(self, layer_classes: dict[int, np.ndarray]) -> dict[int, tuple[np.ndarray, np.ndarray]]:
         """Extract (ids, centroids) per layer for an allocation result."""
@@ -496,9 +520,7 @@ class CoCaServer:
         gamma = self.config.gamma
         local_freq = np.asarray(local_freq, dtype=float)
         if update_entries:
-            keys = np.array(list(update_entries.keys()), dtype=int)
-            vectors = np.stack(list(update_entries.values()))
-            ids, layers = keys[:, 0], keys[:, 1]
+            ids, layers, vectors = unpack_update_entries(update_entries)
             self.table.merge_updates(ids, layers, vectors, local_freq[ids], gamma)
         self.table.add_frequencies(local_freq)
 
@@ -520,6 +542,34 @@ class CoCaServer:
         frac = self.config.cache_budget_fraction if fraction is None else fraction
         full = self.model.num_classes * int(self._entry_sizes.sum())
         return max(1, int(frac * full))
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    def replicate(self) -> "CoCaServer":
+        """A new server sharing this one's model but owning copied state.
+
+        The replica holds an independent deep copy of the global table and
+        of every calibrated reference vector (hit ratios, exit losses,
+        similarity floors), so it allocates and merges exactly like the
+        original without rerunning shared-dataset calibration.  Cluster
+        nodes are built this way: one canonical server initializes once,
+        then each :class:`~repro.cluster.node.EdgeServerNode` serves from
+        a replica that the coordinator refreshes from the shards.
+        """
+        replica = CoCaServer(
+            self.model,
+            self.config,
+            freq_prior=0.0,
+            drift_margin=self.drift_margin,
+        )
+        replica.table = self.table.copy()
+        replica.reference_hit_ratio = self.reference_hit_ratio.copy()
+        replica.reference_hit_accuracy = self.reference_hit_accuracy.copy()
+        replica.reference_exit_loss = self.reference_exit_loss.copy()
+        replica.reference_similarity_floor = self.reference_similarity_floor.copy()
+        return replica
 
     # ------------------------------------------------------------------
     # Persistence

@@ -20,6 +20,11 @@ from repro.experiments.distribution import (
     run_longtail_comparison,
     run_noniid_sweep,
 )
+from repro.experiments.cluster_scale import (
+    ClusterScalePoint,
+    format_cluster_table,
+    run_cluster_scale,
+)
 from repro.experiments.global_updates import GlobalUpdateResult, run_global_update_study
 from repro.experiments.motivation import (
     CacheSizePoint,
@@ -51,6 +56,7 @@ __all__ = [
     "AllocationPoint",
     "CacheSizePoint",
     "ClientLoadPoint",
+    "ClusterScalePoint",
     "CollectionPoint",
     "GlobalUpdateResult",
     "HotspotCountPoint",
@@ -61,6 +67,7 @@ __all__ = [
     "ThetaPoint",
     "UpdateCyclePoint",
     "format_ablation_table",
+    "format_cluster_table",
     "format_design_points",
     "format_allocation_table",
     "format_method_points",
@@ -71,6 +78,7 @@ __all__ = [
     "run_alpha_ablation",
     "run_cache_size_sweep",
     "run_client_load_sweep",
+    "run_cluster_scale",
     "run_delta_sweep",
     "run_gamma_sweep",
     "run_global_update_study",

@@ -12,6 +12,7 @@ from repro.sim.metrics import (
     MetricsCollector,
     MetricsSummary,
     merge_summaries,
+    per_class_hit_rates,
 )
 from repro.sim.network import ServerLoadModel
 
@@ -23,4 +24,5 @@ __all__ = [
     "Stopwatch",
     "VirtualClock",
     "merge_summaries",
+    "per_class_hit_rates",
 ]

@@ -41,6 +41,19 @@ class VirtualClock:
         self._now_ms += float(delta_ms)
         return self._now_ms
 
+    def advance_to(self, timestamp_ms: float) -> float:
+        """Move the clock forward to an absolute virtual time and return it.
+
+        Event-driven components wait on each other by joining clocks: a
+        client whose cache request completes at server time ``t`` calls
+        ``advance_to(t)`` on its own clock.  A timestamp at or before the
+        current time is a no-op (the event already lies in this clock's
+        past), so the clock stays monotone without the caller having to
+        compute ``max`` deltas.
+        """
+        self._now_ms = max(self._now_ms, float(timestamp_ms))
+        return self._now_ms
+
     def elapsed_since(self, t0_ms: float) -> float:
         """Return virtual milliseconds elapsed since the timestamp ``t0_ms``."""
         return self._now_ms - t0_ms

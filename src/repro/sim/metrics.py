@@ -131,6 +131,32 @@ class MetricsCollector:
         return sub.summary()
 
 
+def per_class_hit_rates(
+    records: list[InferenceRecord], min_samples: int = 1
+) -> dict[int, float]:
+    """Cache-hit rate per ground-truth class over a set of records.
+
+    Returns ``{class_id: hits / samples}`` for every class that appears in
+    at least ``min_samples`` records.  Used to compare a sharded cluster
+    run against its single-server reference class by class: aggregate hit
+    ratio can mask a cluster that trades hits on one region's classes for
+    hits on another's.
+    """
+    if min_samples < 1:
+        raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+    seen: Counter = Counter()
+    hits: Counter = Counter()
+    for record in records:
+        seen[record.true_class] += 1
+        if record.hit:
+            hits[record.true_class] += 1
+    return {
+        int(class_id): hits[class_id] / count
+        for class_id, count in sorted(seen.items())
+        if count >= min_samples
+    }
+
+
 def merge_summaries(summaries: list[MetricsSummary]) -> MetricsSummary:
     """Sample-weighted merge of per-client summaries (Eq. 8 of the paper).
 

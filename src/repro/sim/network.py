@@ -18,6 +18,7 @@ by the (modelled) network transfer.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 
@@ -67,7 +68,23 @@ class ServerLoadModel:
         contention term linear in the client count, modelling lock
         contention on the shared global cache table (the mechanism the
         paper names for the mild latency growth).
+
+        A saturated server (utilization >= 1) has no finite steady-state
+        response latency: the result is ``float("inf")`` with a
+        :class:`RuntimeWarning`, so capacity sweeps can chart the
+        saturation cliff instead of aborting at the first point past it.
+        Use :meth:`mean_wait_ms` directly when saturation should be a
+        hard error.
         """
+        rho = self.utilization(num_clients)
+        if rho >= 1.0:
+            warnings.warn(
+                f"server saturated: utilization {rho:.3f} >= 1 with "
+                f"{num_clients} clients; response latency is unbounded",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return float("inf")
         return (
             self.base_latency_ms
             + self.mean_wait_ms(num_clients)
@@ -76,5 +93,10 @@ class ServerLoadModel:
         )
 
     def sweep(self, client_counts: list[int]) -> dict[int, float]:
-        """Response latency for each client count (the Fig. 10b series)."""
+        """Response latency for each client count (the Fig. 10b series).
+
+        Saturated counts map to ``float("inf")`` (with a warning from
+        :meth:`response_latency_ms`) rather than poisoning the whole
+        sweep with a :class:`ValueError`.
+        """
         return {n: self.response_latency_ms(n) for n in client_counts}

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -23,6 +25,17 @@ class TestParser:
     def test_sweep_parses_thetas(self):
         args = build_parser().parse_args(["sweep-theta", "--thetas", "0.01,0.02"])
         assert args.thetas == "0.01,0.02"
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.shards == 4
+        assert args.sync_interval == 1
+        assert args.policy == "hash"
+        assert not args.json
+
+    def test_cluster_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--policy", "random"])
 
 
 class TestCommands:
@@ -56,6 +69,68 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Edge-Only" in out
         assert "30.50ms" in out
+
+    def test_compare_json_output(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--methods", "edge",
+                "--dataset", "ucf101",
+                "--classes", "10",
+                "--model", "resnet50",
+                "--clients", "2",
+                "--rounds", "1",
+                "--warmup", "0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["model"] == "resnet50"
+        assert payload["methods"]["edge"]["latency_ms"] == pytest.approx(30.5)
+        assert payload["methods"]["edge"]["samples"] == 600
+
+    def test_cluster_runs(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--dataset", "ucf101",
+                "--classes", "10",
+                "--model", "resnet50",
+                "--shards", "2",
+                "--clients", "4",
+                "--rounds", "1",
+                "--warmup", "0",
+                "--frames", "30",
+                "--policy", "least-loaded",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        assert "throughput" in out
+
+    def test_cluster_json_output(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--dataset", "ucf101",
+                "--classes", "10",
+                "--model", "resnet50",
+                "--shards", "2",
+                "--clients", "4",
+                "--rounds", "1",
+                "--warmup", "0",
+                "--frames", "30",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["shards"] == 2
+        assert payload["throughput_inferences_per_s"] > 0
+        assert len(payload["nodes"]) == 2
+        assert payload["metrics"]["samples"] == 4 * 30
 
     def test_sweep_theta_runs(self, capsys):
         code = main(

@@ -36,6 +36,16 @@ class TestVirtualClock:
         with pytest.raises(ValueError):
             clock.advance(-0.1)
 
+    def test_advance_to_moves_forward(self):
+        clock = VirtualClock(2.0)
+        assert clock.advance_to(7.5) == pytest.approx(7.5)
+        assert clock.now_ms == pytest.approx(7.5)
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(10.0)
+        assert clock.advance_to(4.0) == pytest.approx(10.0)
+        assert clock.now_ms == pytest.approx(10.0)
+
     def test_elapsed_since(self):
         clock = VirtualClock()
         t0 = clock.now_ms

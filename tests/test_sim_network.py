@@ -1,5 +1,7 @@
 """Unit tests for the server-load (response latency) model."""
 
+import math
+
 import pytest
 
 from repro.sim.network import ServerLoadModel
@@ -31,14 +33,39 @@ class TestServerLoadModel:
         with pytest.raises(ValueError):
             ServerLoadModel().utilization(-1)
 
-    def test_saturation_rejected(self):
+    def test_mean_wait_stays_strict_at_saturation(self):
         model = ServerLoadModel(service_time_ms=100.0, round_duration_ms=100.0)
         with pytest.raises(ValueError):
             model.mean_wait_ms(10)
 
+    def test_saturated_response_is_inf_with_warning(self):
+        model = ServerLoadModel(service_time_ms=100.0, round_duration_ms=100.0)
+        with pytest.warns(RuntimeWarning, match="saturated"):
+            assert model.response_latency_ms(10) == math.inf
+
+    def test_saturated_sweep_not_poisoned(self):
+        """One saturated count must not abort the whole Fig. 10b series."""
+        model = ServerLoadModel(service_time_ms=10.0, round_duration_ms=100.0)
+        with pytest.warns(RuntimeWarning):
+            sweep = model.sweep([2, 5, 20])
+        assert sweep[2] < sweep[5]  # pre-saturation points still finite
+        assert math.isfinite(sweep[5])
+        assert sweep[20] == math.inf
+
     def test_zero_clients(self):
         model = ServerLoadModel()
         assert model.mean_wait_ms(0) == 0.0
+        assert model.utilization(0) == 0.0
+        assert model.response_latency_ms(0) == pytest.approx(
+            model.base_latency_ms + model.service_time_ms
+        )
+
+    def test_near_saturation_large_but_finite(self):
+        # rho = 0.999 -> huge but finite M/D/1 wait.
+        model = ServerLoadModel(service_time_ms=9.99, round_duration_ms=100.0)
+        latency = model.response_latency_ms(10)
+        assert math.isfinite(latency)
+        assert latency > 10 * model.response_latency_ms(1)
 
     def test_sweep_returns_all_counts(self):
         model = ServerLoadModel()

@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from repro.core.config import CoCaConfig
 from repro.core.framework import CoCaFramework
 from repro.data.datasets import get_dataset
 
@@ -30,11 +31,16 @@ FRAMES_PER_CLIENT = 300
 TRIALS = 3
 
 
-def _build(enable_dca: bool) -> CoCaFramework:
+def _build(enable_dca: bool, exact: bool = False) -> CoCaFramework:
+    # Timings run the serving default (float32 caches); the outcome
+    # equivalence below runs the float64 exact mode, where scalar (gemv)
+    # and batched (gemm) probes agree bit for bit.
+    config = CoCaConfig(lookup_dtype="float64") if exact else None
     return CoCaFramework(
         dataset=get_dataset("ucf101", 50),
         model_name="resnet101",
         num_clients=NUM_CLIENTS,
+        config=config,
         seed=3,
         enable_dca=enable_dca,
     )
@@ -61,8 +67,8 @@ def _measure(enable_dca: bool) -> tuple[float, float]:
 
 def _assert_outcome_equivalence() -> int:
     """Both paths, fed identical pre-drawn batches, must agree exactly."""
-    fw_fast = _build(enable_dca=True)
-    fw_ref = _build(enable_dca=True)
+    fw_fast = _build(enable_dca=True, exact=True)
+    fw_ref = _build(enable_dca=True, exact=True)
     collected = 0
     for fast, ref in zip(fw_fast.clients, fw_ref.clients):
         status = fast.status()

@@ -10,6 +10,7 @@ Usage::
         --model resnet101 --thetas 0.03,0.05,0.07
     python -m repro cluster --shards 4 --clients 64 --sync-interval 1 \
         --policy region --rounds 2
+    python -m repro profile-round --clients 4 --rounds 2
 
 All runs are fully offline and deterministic for a given ``--seed``.
 """
@@ -23,6 +24,7 @@ import sys
 from repro.baselines import CoCaRunner, EdgeOnly, FoggyCache, LearnedCache, SMTM
 from repro.cluster import ASSIGNMENT_POLICIES, ClusterFramework
 from repro.core.config import CoCaConfig
+from repro.core.framework import CoCaFramework
 from repro.data.datasets import get_dataset
 from repro.experiments.scenario import Scenario
 from repro.experiments.slo import fresh_scenario
@@ -190,6 +192,83 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Stage order of the profile-round breakdown (client stages, then the
+#: server-side allocation and merge work of one protocol round).
+PROFILE_STAGES = ("sample-gen", "probe", "model", "collect", "allocate", "merge")
+
+
+def cmd_profile_round(args: argparse.Namespace) -> int:
+    """Per-stage wall-clock breakdown of full protocol rounds.
+
+    Runs ``--rounds`` measured rounds (after ``--warmup`` untimed ones)
+    through the vectorized pipeline with stage accumulators threaded
+    down to the engine, then prints where the time went: sample
+    generation, cache probes, final-model classification, Eq. 3
+    collection, ACA allocation, and the Eq. 4/5 merge.  The tool that
+    makes future probe-kernel regressions diagnosable at a glance.
+    """
+    dataset = get_dataset(args.dataset, args.classes)
+    config = CoCaConfig(
+        theta=args.theta,
+        lookup_dtype=args.dtype,
+        prune_threshold=args.prune_threshold,
+    )
+    framework = CoCaFramework(
+        dataset=dataset,
+        model_name=args.model,
+        num_clients=args.clients,
+        config=config,
+        seed=args.seed,
+        non_iid_level=args.non_iid,
+        longtail_rho=args.longtail,
+    )
+    for r in range(args.warmup):
+        framework.run_round(r)
+    timings: dict[str, float] = {}
+    for r in range(args.rounds):
+        framework.run_round(args.warmup + r, timings=timings)
+    frames = args.rounds * args.clients * config.frames_per_round
+    accounted = sum(timings.get(stage, 0.0) for stage in PROFILE_STAGES)
+    payload = {
+        "scenario": {
+            "model": args.model,
+            "dataset": dataset.name,
+            "clients": args.clients,
+            "rounds": args.rounds,
+            "frames": frames,
+            "seed": args.seed,
+            "lookup_dtype": args.dtype,
+            "prune_threshold": args.prune_threshold,
+        },
+        "stages_ms": {
+            stage: round(1e3 * timings.get(stage, 0.0), 3)
+            for stage in PROFILE_STAGES
+        },
+        "total_ms": round(1e3 * accounted, 3),
+        "inferences_per_s": round(frames / accounted, 1) if accounted else None,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{args.model} on {dataset.name}, {args.clients} clients x "
+        f"{args.rounds} rounds x {config.frames_per_round} frames, "
+        f"dtype={args.dtype}, seed={args.seed}\n"
+    )
+    print(f"{'stage':>12s}{'time':>12s}{'share':>9s}")
+    for stage in PROFILE_STAGES:
+        ms = 1e3 * timings.get(stage, 0.0)
+        share = 100.0 * ms / (1e3 * accounted) if accounted else 0.0
+        print(f"{stage:>12s}{ms:10.1f}ms{share:8.1f}%")
+    print(
+        f"\ntotal {1e3 * accounted:.1f}ms for {frames} inferences "
+        f"({frames / accounted:,.0f} inf/s)"
+        if accounted
+        else "\nno stage time recorded"
+    )
+    return 0
+
+
 def cmd_sweep_theta(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
     thetas = [float(t) for t in args.thetas.split(",") if t.strip()]
@@ -262,6 +341,21 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of a table")
     cluster.set_defaults(func=cmd_cluster)
+
+    profile = sub.add_parser(
+        "profile-round",
+        help="per-stage timing breakdown of full protocol rounds",
+    )
+    _add_scenario_args(profile)
+    profile.add_argument("--dtype", default="float32",
+                         choices=("float32", "float64"),
+                         help="cache lookup dtype")
+    profile.add_argument("--prune-threshold", dest="prune_threshold",
+                         type=int, default=None,
+                         help="entry count enabling LSH-pruned probes")
+    profile.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of a table")
+    profile.set_defaults(func=cmd_profile_round)
     return parser
 
 

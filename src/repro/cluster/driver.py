@@ -177,6 +177,12 @@ class ClusterFramework:
         )
         for client_id, node_id in enumerate(self.assignment):
             self.nodes[node_id].assigned_clients.append(client_id)
+            # Clients run sequentially in virtual time, so everyone served
+            # by a node shares its probe-buffer pool: one workspace per
+            # shard for the whole fleet run, not one per client.
+            self.clients[client_id].batch_engine.set_workspace(
+                self.nodes[node_id].workspace
+            )
         self.client_clocks = [VirtualClock() for _ in range(num_clients)]
         self._last_round_synced = False
         self._last_round_wait_ms = 0.0

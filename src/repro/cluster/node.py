@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.cache import SemanticCache
+from repro.core.cache import LookupWorkspace, SemanticCache
 from repro.core.server import CoCaServer
 from repro.sim.clock import VirtualClock
 from repro.sim.network import ServerLoadModel
@@ -64,6 +64,11 @@ class EdgeServerNode:
         sync_service_ms: CPU time charged per *remote* shard pulled
             during a cross-shard replica refresh (deserialize + scatter
             of the owned rows); the local shard is co-located and free.
+        workspace: probe-buffer pool shared by every engine this node
+            serves (``None`` = create a private one).  The cluster
+            driver points the batched engines of all clients assigned to
+            this node at it, so one buffer set per shard survives the
+            whole fleet run instead of one per client.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class EdgeServerNode:
         load: ServerLoadModel | None = None,
         merge_service_ms: float = 0.5,
         sync_service_ms: float = 2.0,
+        workspace: LookupWorkspace | None = None,
     ) -> None:
         if merge_service_ms < 0:
             raise ValueError(f"merge_service_ms must be >= 0, got {merge_service_ms}")
@@ -83,6 +89,7 @@ class EdgeServerNode:
         self.load = load if load is not None else ServerLoadModel()
         self.merge_service_ms = float(merge_service_ms)
         self.sync_service_ms = float(sync_service_ms)
+        self.workspace = workspace if workspace is not None else LookupWorkspace()
         self.clock = VirtualClock()  # tracks the CPU's busy horizon
         self.assigned_clients: list[int] = []
         self.requests_served = 0

@@ -11,6 +11,7 @@ from repro.core.cache import (
     BatchLayerProbe,
     LayerProbe,
     LookupSession,
+    LookupWorkspace,
     SemanticCache,
     discriminative_score,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "InferenceOutcome",
     "LayerProbe",
     "LookupSession",
+    "LookupWorkspace",
     "RoundReport",
     "RoundSummary",
     "SemanticCache",

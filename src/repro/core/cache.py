@@ -25,6 +25,40 @@ one sample at a time, and :class:`BatchedLookupSession` runs a whole
 batch of samples per layer as single NumPy matrix operations (one
 ``(n_alive, d) @ (d, n_entries)`` product, vectorized Eq. 1/2), producing
 outcomes identical to the scalar path.
+
+Serving-path performance rests on three policies layered on top:
+
+* **Dtype policy.**  Centroid matrices are stored C-contiguous in a
+  configurable dtype, ``float32`` by default: unit-norm cosine geometry
+  loses nothing observable at single precision (scores carry ~1e-6
+  relative rounding against margins of ~1e-2) while matmul bandwidth and
+  FLOP throughput double.  Session accumulators match the cache dtype,
+  so all probe math runs in single precision end to end.  Constructing
+  with ``dtype=np.float64`` restores the bit-exact double-precision
+  path the exact-equivalence suites run on.
+* **Zero-allocation kernel.**  A :class:`LookupWorkspace` owns reusable
+  flat buffer pools; the batched probe writes its matmul, accumulator
+  gather/scatter, top-2 selection and scoring into workspace views
+  (``out=`` everywhere), so steady-state probes allocate only their
+  small per-row output arrays.  Engines own a workspace and thread it
+  through every session they open, so buffers persist across probes,
+  batches and protocol rounds.
+* **LSH-pruned candidate lookup.**  With ``prune_threshold`` set, any
+  layer holding at least that many entries keeps an array-backed
+  :class:`~repro.lsh.alsh.AdaptiveLSH` index over its centroids
+  (rebuilt in place — same hyperplanes — whenever
+  :meth:`SemanticCache.set_layer_entries` replaces the layer).  At a
+  session's first pruned probe, the multi-probe buckets of every query
+  in the batch are unioned into one *session shortlist* of candidate
+  classes; every pruned layer is then probed with the exact dense
+  kernel restricted to that shortlist's columns.  Pinning the shortlist
+  per session keeps Eq. 1 accumulation consistent across layers, and
+  unioning over the batch exploits the stream's hot-spot runs: a batch
+  that revisits few classes probes few columns.  Layers below the
+  threshold, and shortlists with fewer than two usable columns, fall
+  back to the full dense kernel.  Pruning is approximate (a query's
+  true top-2 can land outside the shortlist), which is why it is
+  opt-in and disabled wherever exact equivalence is asserted.
 """
 
 from __future__ import annotations
@@ -34,7 +68,12 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro.lsh.alsh import AdaptiveLSH
+
 _EPS = 1e-9
+
+#: Dtypes the cache may store centroids in (the probe-kernel contract).
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
 def discriminative_score(a_best, a_second):
@@ -61,6 +100,112 @@ def discriminative_score(a_best, a_second):
     if score.ndim == 0:
         return float(score)
     return score
+
+
+class LookupWorkspace:
+    """Reusable scratch buffers for the batched probe kernels.
+
+    Buffers are flat pools keyed by ``(name, dtype)`` and grown
+    geometrically; :meth:`floats` / :meth:`ints` / :meth:`bools` return
+    C-contiguous views of the requested shape, so ``out=`` matmuls and
+    ufuncs write straight into pooled memory.  One workspace is owned
+    per engine (or per cluster node) and reused across probes, batches
+    and rounds — the steady-state probe path allocates nothing
+    proportional to ``batch x n_entries``.
+
+    Not thread-safe and not re-entrant: a buffer name is a claim on the
+    pool until the caller is done with the view.  The single-threaded
+    round pipeline (and the virtual-time cluster driver, which runs
+    clients sequentially) satisfies this by construction.
+    """
+
+    def __init__(self) -> None:
+        self._pools: dict[tuple[str, np.dtype], np.ndarray] = {}
+        self._arange = np.empty(0, dtype=np.intp)
+
+    def _pool(self, name: str, dtype: np.dtype, size: int) -> np.ndarray:
+        key = (name, dtype)
+        buf = self._pools.get(key)
+        if buf is None or buf.size < size:
+            buf = np.empty(max(size, 16), dtype=dtype)
+            self._pools[key] = buf
+        return buf
+
+    def floats(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A C-contiguous float view of ``shape`` from the named pool."""
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return self._pool(name, np.dtype(dtype), size)[:size].reshape(shape)
+
+    def ints(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """An index (``intp``) view — argmax targets, flat gather indices."""
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return self._pool(name, np.dtype(np.intp), size)[:size].reshape(shape)
+
+    def bools(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return self._pool(name, np.dtype(np.bool_), size)[:size].reshape(shape)
+
+    def arange(self, n: int) -> np.ndarray:
+        """A read-only-by-convention view of ``[0, n)``."""
+        if self._arange.size < n:
+            self._arange = np.arange(max(n, 16), dtype=np.intp)
+        return self._arange[:n]
+
+    def top2(
+        self, matrix: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Row-wise top-2 of a 2-D score matrix via two argmax passes.
+
+        The winner is masked to ``-inf``, the runner-up located, and the
+        winner restored — the cheapest exact top-2 for small row counts.
+        ``matrix`` is temporarily modified in place (restored on return);
+        C-contiguous input takes the flat-index gather path, anything
+        else the (allocating) fancy-index path.  All four returned
+        arrays are workspace views valid until the next ``top2`` call.
+        """
+        n, e = matrix.shape
+        best_idx = self.ints("top2.best_idx", (n,))
+        second_idx = self.ints("top2.second_idx", (n,))
+        best = self.floats("top2.best", (n,), matrix.dtype)
+        second = self.floats("top2.second", (n,), matrix.dtype)
+        np.argmax(matrix, axis=1, out=best_idx)
+        if matrix.flags.c_contiguous:
+            flat = self.ints("top2.flat", (n,))
+            matrix_flat = matrix.reshape(-1)
+            np.multiply(self.arange(n), e, out=flat)
+            np.add(flat, best_idx, out=flat)
+            np.take(matrix_flat, flat, out=best)
+            matrix_flat[flat] = -np.inf
+            np.argmax(matrix, axis=1, out=second_idx)
+            second_flat = self.ints("top2.second_flat", (n,))
+            np.multiply(self.arange(n), e, out=second_flat)
+            np.add(second_flat, second_idx, out=second_flat)
+            np.take(matrix_flat, second_flat, out=second)
+            matrix_flat[flat] = best  # restore the winners
+        else:
+            take = self.arange(n)
+            best[:] = matrix[take, best_idx]
+            matrix[take, best_idx] = -np.inf
+            np.argmax(matrix, axis=1, out=second_idx)
+            second[:] = matrix[take, second_idx]
+            matrix[take, best_idx] = best  # restore the winners
+        return best_idx, second_idx, best, second
+
+    def scores_into(
+        self, best: np.ndarray, second: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Eq. 2 scores written into ``out`` (allocation-free
+        :func:`discriminative_score` for equal-shaped 1-D arrays)."""
+        n = best.shape[0]
+        nonpos = self.bools("scores.nonpos", (n,))
+        denom = self.floats("scores.denom", (n,), out.dtype)
+        np.less_equal(second, _EPS, out=nonpos)
+        np.copyto(denom, second)
+        denom[nonpos] = 1.0
+        np.subtract(best, second, out=out)
+        np.divide(out, denom, out=out)
+        out[nonpos] = 0.0
+        return out
 
 
 class LayerProbe(NamedTuple):
@@ -93,19 +238,52 @@ class SemanticCache:
             cache table this cache was extracted from).
         alpha: Eq. 1 decay for previous-layer accumulated similarity.
         theta: Eq. 2 discriminative-score hit threshold.
+        dtype: storage/compute dtype of the probe path (``float32``
+            default; ``float64`` is the exact-equivalence mode).
+        prune_threshold: entry count at which a layer gains an A-LSH
+            candidate index and probes switch to the pruned kernel
+            (``None`` disables pruning everywhere — the exact mode).
+        prune_seed: seed of the per-layer LSH hyperplane draws.
     """
 
-    def __init__(self, num_classes: int, alpha: float = 0.5, theta: float = 0.05) -> None:
+    def __init__(
+        self,
+        num_classes: int,
+        alpha: float = 0.5,
+        theta: float = 0.05,
+        dtype=np.float32,
+        prune_threshold: int | None = None,
+        prune_seed: int = 0,
+    ) -> None:
         if num_classes < 1:
             raise ValueError(f"num_classes must be >= 1, got {num_classes}")
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
         if theta < 0:
             raise ValueError(f"theta must be >= 0, got {theta}")
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {[str(d) for d in SUPPORTED_DTYPES]}, "
+                f"got {self.dtype}"
+            )
+        if prune_threshold is not None and prune_threshold < 2:
+            raise ValueError(
+                f"prune_threshold must be >= 2 (a layer needs a runner-up), "
+                f"got {prune_threshold}"
+            )
         self.num_classes = num_classes
         self.alpha = alpha
         self.theta = theta
+        self.prune_threshold = prune_threshold
+        self.prune_seed = int(prune_seed)
         self._layers: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: Per-layer A-LSH candidate indexes (pruned layers only).
+        self._indexes: dict[int, AdaptiveLSH] = {}
+        #: Per-layer class -> column maps (pruned layers only): the
+        #: session shortlist is a class-id set, resolved to each pruned
+        #: layer's columns through these.
+        self._positions: dict[int, np.ndarray] = {}
         # Optional per-layer absolute similarity floors: a hit additionally
         # requires the top entry's *current-layer* cosine to reach the
         # floor.  The relative score D alone cannot reject a sample of an
@@ -128,16 +306,19 @@ class SemanticCache:
             layer: cache-layer index.
             class_ids: integer array of shape ``(n,)``.
             centroids: float array of shape ``(n, d)``; rows are normalized
-                to unit L2 norm on insertion.
+                to unit L2 norm (in double precision) on insertion, then
+                stored C-contiguous in the cache dtype.
         """
         ids = np.asarray(class_ids, dtype=int)
-        mat = np.asarray(centroids, dtype=float)
+        mat = np.asarray(centroids, dtype=np.float64)
         if ids.ndim != 1 or mat.ndim != 2 or ids.shape[0] != mat.shape[0]:
             raise ValueError(
                 f"shape mismatch: ids {ids.shape}, centroids {mat.shape}"
             )
         if ids.size == 0:
             self._layers.pop(layer, None)
+            self._indexes.pop(layer, None)
+            self._positions.pop(layer, None)
             return
         if np.unique(ids).size != ids.size:
             raise ValueError("duplicate class ids in one cache layer")
@@ -146,7 +327,45 @@ class SemanticCache:
         norms = np.linalg.norm(mat, axis=1, keepdims=True)
         if np.any(norms < _EPS):
             raise ValueError("cannot cache a zero centroid")
-        self._layers[layer] = (ids.copy(), mat / norms)
+        stored = np.ascontiguousarray(mat / norms, dtype=self.dtype)
+        self._layers[layer] = (ids.copy(), stored)
+        self._refresh_index(layer, ids, stored)
+
+    def _refresh_index(
+        self, layer: int, ids: np.ndarray, stored: np.ndarray
+    ) -> None:
+        """Build / rebuild / drop the layer's A-LSH candidate index."""
+        if self.prune_threshold is None or stored.shape[0] < self.prune_threshold:
+            self._indexes.pop(layer, None)
+            self._positions.pop(layer, None)
+            return
+        index = self._indexes.get(layer)
+        if index is None or index.dim != stored.shape[1]:
+            index = AdaptiveLSH(
+                dim=stored.shape[1],
+                rng=np.random.default_rng(self.prune_seed + 7919 * layer),
+                base_bits=7,
+                max_bits=18,
+                # Bucket capacity is clamped to [16, 64]: beyond the
+                # clamp, candidate neighbourhoods stay bounded as the
+                # cache grows — that is where sub-linear lookup comes
+                # from.
+                max_bucket_size=min(64, max(16, self.prune_threshold // 16)),
+                multi_probe=2,
+            )
+            self._indexes[layer] = index
+        # Hyperplanes are anchored at the layer's centroid mean: cached
+        # semantic vectors share a large common component, and
+        # origin-anchored planes would barely separate them.
+        index.set_center(stored.mean(axis=0))
+        index.rebuild(stored)
+        positions = np.full(self.num_classes, -1, dtype=np.int64)
+        positions[ids] = np.arange(ids.size)
+        self._positions[layer] = positions
+
+    def pruned_layers(self) -> list[int]:
+        """Layers currently probed through the A-LSH shortlist."""
+        return sorted(self._indexes)
 
     def set_similarity_floor(self, layer: int, floor: float) -> None:
         """Require a minimum top-entry cosine at ``layer`` for a hit."""
@@ -160,6 +379,8 @@ class SemanticCache:
 
     def clear(self) -> None:
         self._layers.clear()
+        self._indexes.clear()
+        self._positions.clear()
         self._similarity_floor.clear()
 
     @property
@@ -199,16 +420,17 @@ class SemanticCache:
         """Whether two caches would serve identical lookups.
 
         Compares the lookup-relevant state: hyper-parameters (alpha,
-        theta), the activated layers, each layer's (class id, centroid)
-        entries, and the per-layer similarity floors.  With ``atol=0`` the
-        centroid comparison is exact — the contract a replicated server
-        must satisfy (e.g. a 1-shard cluster node against the
-        single-server reference).
+        theta, dtype), the activated layers, each layer's (class id,
+        centroid) entries, and the per-layer similarity floors.  With
+        ``atol=0`` the centroid comparison is exact — the contract a
+        replicated server must satisfy (e.g. a 1-shard cluster node
+        against the single-server reference).
         """
         if (
             self.num_classes != other.num_classes
             or self.alpha != other.alpha
             or self.theta != other.theta
+            or self.dtype != other.dtype
             or self.active_layers != other.active_layers
         ):
             return False
@@ -237,29 +459,63 @@ class SemanticCache:
         """Begin the per-inference sequential lookup."""
         return LookupSession(self)
 
-    def start_batch_session(self, batch_size: int) -> "BatchedLookupSession":
-        """Begin a vectorized lookup over a batch of concurrent inferences."""
-        return BatchedLookupSession(self, batch_size)
+    def start_batch_session(
+        self, batch_size: int, workspace: LookupWorkspace | None = None
+    ) -> "BatchedLookupSession":
+        """Begin a vectorized lookup over a batch of concurrent inferences.
+
+        Pass a long-lived :class:`LookupWorkspace` (e.g. the engine's) to
+        reuse probe buffers across sessions; without one the session
+        allocates a private workspace.
+        """
+        return BatchedLookupSession(self, batch_size, workspace=workspace)
 
     def __repr__(self) -> str:
         layers = {j: self.num_entries(j) for j in self.active_layers}
-        return f"SemanticCache(theta={self.theta}, layers={layers})"
+        return (
+            f"SemanticCache(theta={self.theta}, dtype={self.dtype.name}, "
+            f"layers={layers})"
+        )
 
 
 class LookupSession:
     """Accumulates Eq. 1 scores across the activated layers of one inference.
 
     Probe layers in ascending order via :meth:`probe`; the session keeps the
-    per-class accumulated similarity ``A`` between calls.
+    per-class accumulated similarity ``A`` between calls.  Math runs in the
+    cache's dtype; with pruning enabled, the first probe of an indexed
+    layer pins the session's candidate-class shortlist (the query's
+    multi-probe LSH buckets) and subsequent indexed layers score only
+    those classes' columns — falling back to the dense scan when the
+    shortlist resolves to fewer than two columns.
     """
 
     def __init__(self, cache: SemanticCache) -> None:
         self._cache = cache
-        self._accumulated = np.zeros(cache.num_classes)
+        self._accumulated = np.zeros(cache.num_classes, dtype=cache.dtype)
+        self._shortlist: np.ndarray | None = None  # candidate class ids
 
     def accumulated_score(self, class_id: int) -> float:
         """Current ``A`` value of a class (0 before its first probe)."""
         return float(self._accumulated[class_id])
+
+    def prime_shortlist(self, layer: int, vector: np.ndarray) -> None:
+        """Pin the session's candidate shortlist from a chosen layer.
+
+        Class separation grows with depth, so the deepest activated
+        pruned layer's buckets concentrate best — engines prime from
+        there before probing shallow layers.  No-op when the layer has
+        no index or a shortlist is already pinned.
+        """
+        if self._shortlist is not None:
+            return
+        cache = self._cache
+        index = cache._indexes.get(layer)
+        if index is None:
+            return
+        ids = cache._layers[layer][0]
+        candidates = index.query(np.asarray(vector, dtype=float))
+        self._shortlist = np.unique(ids[np.asarray(candidates, dtype=np.intp)])
 
     def probe(self, layer: int, vector: np.ndarray) -> LayerProbe:
         """Probe one activated layer with the sample's semantic vector.
@@ -268,40 +524,57 @@ class LookupSession:
         score exceeds the cache's theta.  A layer with fewer than two
         entries can never hit (the discriminative score needs a runner-up).
         """
-        ids, mat = self._cache._layers.get(layer, (None, None))
+        cache = self._cache
+        ids, mat = cache._layers.get(layer, (None, None))
         if ids is None:
             raise KeyError(f"cache layer {layer} is not activated")
-        vec = np.asarray(vector, dtype=float)
+        if isinstance(vector, np.ndarray) and vector.dtype == cache.dtype:
+            vec = vector  # already conforming: no cast, no copy
+        else:
+            vec = np.asarray(vector, dtype=cache.dtype)
         if vec.shape != (mat.shape[1],):
             raise ValueError(
                 f"vector shape {vec.shape} does not match centroid dim {mat.shape[1]}"
             )
-
-        similarity = mat @ vec  # C[i, j] for cached classes
-        updated = similarity + self._cache.alpha * self._accumulated[ids]
-        self._accumulated[ids] = updated
-
         if ids.size < 2:
+            similarity = mat @ vec
+            updated = similarity + cache.alpha * self._accumulated[ids]
+            self._accumulated[ids] = updated
             top = int(ids[0]) if ids.size == 1 else -1
             return LayerProbe(
                 layer=layer, top_class=top, second_class=-1, score=0.0, hit=False
             )
 
+        if cache._indexes.get(layer) is not None:
+            self.prime_shortlist(layer, vec)
+            cols = cache._positions[layer][self._shortlist]
+            cols = cols[cols >= 0]
+            if cols.size >= 2:
+                return self._finish(layer, ids[cols], mat[cols] @ vec)
+        return self._finish(layer, ids, mat @ vec)
+
+    def _finish(
+        self, layer: int, sub_ids: np.ndarray, similarity: np.ndarray
+    ) -> LayerProbe:
+        """Eq. 1 fold + Eq. 2 scoring over the scored entry subset."""
+        cache = self._cache
+        updated = similarity + cache.alpha * self._accumulated[sub_ids]
+        self._accumulated[sub_ids] = updated
         order = np.argsort(updated)
         best_idx, second_idx = order[-1], order[-2]
         a_best = float(updated[best_idx])
         a_second = float(updated[second_idx])
         score = discriminative_score(a_best, a_second)
-        floor = self._cache.similarity_floor(layer)
+        floor = cache.similarity_floor(layer)
         hit = (
-            score > self._cache.theta
+            score > cache.theta
             and a_best > 0
             and float(similarity[best_idx]) >= floor
         )
         return LayerProbe(
             layer=layer,
-            top_class=int(ids[best_idx]),
-            second_class=int(ids[second_idx]),
+            top_class=int(sub_ids[best_idx]),
+            second_class=int(sub_ids[second_idx]),
             score=score,
             hit=hit,
         )
@@ -326,23 +599,85 @@ class BatchLayerProbe:
 class BatchedLookupSession:
     """Eq. 1/2 accumulation for a whole batch of concurrent inferences.
 
-    The accumulated-similarity state is a ``(batch, num_classes)`` matrix;
-    each :meth:`probe` call advances one cache layer for the still-alive
-    subset of rows with a single ``(n_alive, d) @ (d, n_entries)`` matmul
-    followed by vectorized top-2 selection and scoring — the batch
-    counterpart of running one :class:`LookupSession` per sample.
+    The accumulated-similarity state lives in the cache dtype in one of
+    two layouts.  While every probed layer scores the *same* entry-id
+    set — the common case: ACA allocates one hot-spot class set across
+    its activated layers, and the pruned kernel pins one shortlist per
+    session — the accumulator is a ``(batch, n_entries)`` matrix aligned
+    with the scored columns, so Eq. 1 needs only contiguous row
+    gathers.  The first layer that scores a *different* id set spills
+    into the general ``(batch, num_classes)`` matrix, which every
+    later probe addresses through flat-index gather/scatter.  Each
+    :meth:`probe` call advances one cache layer for the still-alive
+    subset of rows with a single ``(n_alive, d) @ (d, n_entries)``
+    matmul followed by vectorized top-2 selection and scoring — the
+    batch counterpart of running one :class:`LookupSession` per sample.
+    All intermediates live in the session's :class:`LookupWorkspace`;
+    only the per-row result arrays of each :class:`BatchLayerProbe` are
+    freshly allocated.
     """
 
-    def __init__(self, cache: SemanticCache, batch_size: int) -> None:
+    def __init__(
+        self,
+        cache: SemanticCache,
+        batch_size: int,
+        workspace: LookupWorkspace | None = None,
+    ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._cache = cache
         self.batch_size = batch_size
-        self._accumulated = np.zeros((batch_size, cache.num_classes))
+        self._workspace = workspace if workspace is not None else LookupWorkspace()
+        #: Column-mode accumulator state: the id set shared by every
+        #: layer probed so far and its (batch, n_entries) A matrix.
+        self._acc_ids: np.ndarray | None = None
+        self._acc_cols: np.ndarray | None = None
+        #: General accumulator, lazily materialized on id-set divergence.
+        self._acc_full: np.ndarray | None = None
+        self._shortlist: np.ndarray | None = None  # candidate class ids
+
+    def _spill_to_full(self) -> None:
+        """Leave column mode: scatter A into the (batch, num_classes)
+        matrix (one-way — later probes use flat-index addressing)."""
+        self._acc_full = np.zeros(
+            (self.batch_size, self._cache.num_classes), dtype=self._cache.dtype
+        )
+        if self._acc_ids is not None:
+            self._acc_full[:, self._acc_ids] = self._acc_cols
+        self._acc_ids = None
+        self._acc_cols = None
 
     def accumulated_score(self, row: int, class_id: int) -> float:
         """Current ``A`` value of a class for one batch row."""
-        return float(self._accumulated[row, class_id])
+        if self._acc_full is not None:
+            return float(self._acc_full[row, class_id])
+        if self._acc_ids is None:
+            return 0.0
+        position = np.flatnonzero(self._acc_ids == class_id)
+        if position.size == 0:
+            return 0.0
+        return float(self._acc_cols[row, position[0]])
+
+    def prime_shortlist(self, layer: int, vectors: np.ndarray) -> None:
+        """Pin the session's candidate shortlist from a chosen layer.
+
+        Unions the multi-probe A-LSH buckets of every query against the
+        layer's index.  Class separation grows with depth, so engines
+        prime from the *deepest* activated pruned layer — its buckets
+        concentrate far better than the shallow layers a session probes
+        first.  No-op when the layer has no index or a shortlist is
+        already pinned (probing an indexed layer without priming pins
+        the shortlist from that layer instead).
+        """
+        if self._shortlist is not None:
+            return
+        cache = self._cache
+        index = cache._indexes.get(layer)
+        if index is None:
+            return
+        ids = cache._layers[layer][0]
+        positions = index.shortlist(vectors)
+        self._shortlist = np.unique(ids[positions])
 
     def probe(
         self, layer: int, vectors: np.ndarray, rows: np.ndarray | None = None
@@ -354,11 +689,22 @@ class BatchedLookupSession:
             vectors: ``(n, d)`` semantic vectors of the probed samples.
             rows: batch-row index of each vector (default: all rows, in
                 which case ``n`` must equal the batch size).
+
+        An empty ``rows`` subset returns an empty probe (no work, no
+        degenerate-layer special casing).
         """
-        ids, mat = self._cache._layers.get(layer, (None, None))
+        cache = self._cache
+        ids, mat = cache._layers.get(layer, (None, None))
         if ids is None:
             raise KeyError(f"cache layer {layer} is not activated")
-        vecs = np.asarray(vectors, dtype=float)
+        if (
+            isinstance(vectors, np.ndarray)
+            and vectors.dtype == cache.dtype
+            and vectors.ndim == 2
+        ):
+            vecs = vectors  # already conforming: no cast, no copy
+        else:
+            vecs = np.asarray(vectors, dtype=cache.dtype)
         if rows is None:
             rows = np.arange(self.batch_size)
         else:
@@ -369,44 +715,160 @@ class BatchedLookupSession:
                 f"({rows.size}, {mat.shape[1]})"
             )
 
-        similarity = vecs @ mat.T  # C[i, j] for every (row, cached class)
-        row_index = rows[:, None]
-        updated = similarity + self._cache.alpha * self._accumulated[row_index, ids]
-        self._accumulated[row_index, ids] = updated
-
         n = rows.size
+        if n == 0:
+            return BatchLayerProbe(
+                layer=layer,
+                rows=rows,
+                top_class=np.empty(0, dtype=int),
+                second_class=np.empty(0, dtype=int),
+                score=np.empty(0, dtype=cache.dtype),
+                hit=np.empty(0, dtype=bool),
+            )
         if ids.size < 2:
+            similarity = vecs @ mat.T
+            self._fold(similarity, ids, rows)
             top = int(ids[0]) if ids.size == 1 else -1
             return BatchLayerProbe(
                 layer=layer,
                 rows=rows,
                 top_class=np.full(n, top, dtype=int),
                 second_class=np.full(n, -1, dtype=int),
-                score=np.zeros(n),
+                score=np.zeros(n, dtype=cache.dtype),
                 hit=np.zeros(n, dtype=bool),
             )
 
-        take = np.arange(n)
-        # Top-2 via two argmax passes (far cheaper than a row sort or
-        # partition): mask the winner, find the runner-up, restore.
-        best_idx = np.argmax(updated, axis=1)
-        a_best = updated[take, best_idx]  # fancy indexing copies
-        updated[take, best_idx] = -np.inf
-        second_idx = np.argmax(updated, axis=1)
-        a_second = updated[take, second_idx]
-        updated[take, best_idx] = a_best
-        score = discriminative_score(a_best, a_second)
-        floor = self._cache.similarity_floor(layer)
-        hit = (
-            (score > self._cache.theta)
-            & (a_best > 0)
-            & (similarity[take, best_idx] >= floor)
-        )
+        if cache._indexes.get(layer) is not None:
+            return self._probe_pruned(layer, ids, mat, vecs, rows)
+        return self._probe_dense(layer, ids, mat, vecs, rows)
+
+    # ------------------------------------------------------------------
+    # Eq. 1 fold
+    # ------------------------------------------------------------------
+
+    def _fold(
+        self, similarity: np.ndarray, ids: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Accumulate Eq. 1 over the scored entries: returns the updated
+        ``A`` values (a workspace view) and writes them back.
+
+        Stays in column mode while every probed layer scores the same id
+        set (contiguous row gathers, no index arithmetic); the first
+        divergent id set spills to the general per-class matrix.
+        """
+        cache = self._cache
+        ws = self._workspace
+        n, e = similarity.shape
+        if self._acc_full is None:
+            if self._acc_ids is None:
+                self._acc_ids = ids
+                self._acc_cols = np.zeros(
+                    (self.batch_size, e), dtype=cache.dtype
+                )
+            elif self._acc_ids is not ids and not np.array_equal(
+                self._acc_ids, ids
+            ):
+                self._spill_to_full()
+        upd = ws.floats("probe.upd", (n, e), cache.dtype)
+        if self._acc_full is None:
+            np.take(self._acc_cols, rows, axis=0, out=upd)
+            np.multiply(upd, cache.alpha, out=upd)
+            np.add(upd, similarity, out=upd)
+            self._acc_cols[rows] = upd
+        else:
+            flat = ws.ints("probe.flat", (n, e))
+            row_off = ws.ints("probe.row_off", (n,))
+            np.multiply(rows, cache.num_classes, out=row_off)
+            np.add(row_off[:, None], ids[None, :], out=flat)
+            acc_flat = self._acc_full.reshape(-1)
+            np.take(acc_flat, flat, out=upd)
+            np.multiply(upd, cache.alpha, out=upd)
+            np.add(upd, similarity, out=upd)
+            acc_flat[flat] = upd
+        return upd
+
+    # ------------------------------------------------------------------
+    # Dense (exact) kernel
+    # ------------------------------------------------------------------
+
+    def _probe_dense(
+        self,
+        layer: int,
+        ids: np.ndarray,
+        mat: np.ndarray,
+        vecs: np.ndarray,
+        rows: np.ndarray,
+    ) -> BatchLayerProbe:
+        """Exact probe: one matmul over all entries, zero large allocs."""
+        cache = self._cache
+        ws = self._workspace
+        n, e = vecs.shape[0], ids.size
+        dtype = cache.dtype
+
+        sim = ws.floats("probe.sim", (n, e), dtype)
+        np.matmul(vecs, mat.T, out=sim)
+        upd = self._fold(sim, ids, rows)
+
+        best_idx, second_idx, a_best, a_second = ws.top2(upd)
+        score = ws.floats("probe.score", (n,), dtype)
+        ws.scores_into(a_best, a_second, score)
+
+        hit = ws.bools("probe.hit", (n,))
+        aux = ws.bools("probe.aux", (n,))
+        np.greater(score, cache.theta, out=hit)
+        np.greater(a_best, 0, out=aux)
+        np.logical_and(hit, aux, out=hit)
+        sim_best = ws.floats("probe.sim_best", (n,), dtype)
+        best_flat = ws.ints("probe.best_flat", (n,))
+        np.multiply(ws.arange(n), e, out=best_flat)
+        np.add(best_flat, best_idx, out=best_flat)
+        np.take(sim.reshape(-1), best_flat, out=sim_best)
+        np.greater_equal(sim_best, cache.similarity_floor(layer), out=aux)
+        np.logical_and(hit, aux, out=hit)
+
         return BatchLayerProbe(
             layer=layer,
             rows=rows,
             top_class=ids[best_idx],
             second_class=ids[second_idx],
-            score=score,
-            hit=hit,
+            score=score.copy(),
+            hit=hit.copy(),
         )
+
+    # ------------------------------------------------------------------
+    # LSH-pruned kernel
+    # ------------------------------------------------------------------
+
+    def _probe_pruned(
+        self,
+        layer: int,
+        ids: np.ndarray,
+        mat: np.ndarray,
+        vecs: np.ndarray,
+        rows: np.ndarray,
+    ) -> BatchLayerProbe:
+        """Approximate probe: the dense kernel on the session shortlist.
+
+        The first pruned probe of the session unions the multi-probe
+        LSH buckets of every probed row into a pinned candidate-class
+        shortlist (rows only ever leave a batch, so the first probed
+        set covers all later ones).  Each pruned layer then gathers the
+        shortlist's columns once and runs the exact dense kernel on the
+        sub-matrix: accumulation stays consistent across layers, and a
+        batch dominated by hot-spot runs probes a small fraction of the
+        cache.  Falls back to the full dense kernel when the shortlist
+        resolves to fewer than two of this layer's columns (no Eq. 2
+        runner-up) or to no reduction at all.
+        """
+        cache = self._cache
+        ws = self._workspace
+        self.prime_shortlist(layer, vecs)
+        cols = cache._positions[layer][self._shortlist]
+        cols = cols[cols >= 0]
+        if cols.size < 2 or cols.size >= ids.size:
+            return self._probe_dense(layer, ids, mat, vecs, rows)
+        sub_mat = ws.floats(
+            "pruned.mat", (cols.size, mat.shape[1]), cache.dtype
+        )
+        np.take(mat, cols, axis=0, out=sub_mat)
+        return self._probe_dense(layer, ids[cols], sub_mat, vecs, rows)

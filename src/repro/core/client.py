@@ -33,11 +33,12 @@ identical reports (see ``tests/test_round_pipeline_equivalence.py``).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.cache import SemanticCache
+from repro.core.cache import LookupWorkspace, SemanticCache
 from repro.core.config import CoCaConfig
 from repro.core.engine import (
     BatchedInferenceEngine,
@@ -123,6 +124,11 @@ class CoCaClient:
         rng: per-client generator for feature sampling.
         cache_budget_bytes: cache-size threshold Pi; defaults to
             ``config.cache_budget_fraction`` of the full global table.
+        workspace: shared probe-buffer pool for the batched engine
+            (``None`` = the engine owns a private one).  The framework
+            passes one workspace to every client it builds — rounds run
+            clients sequentially, so a deployment-wide pool is safe and
+            keeps probe scratch memory constant in the client count.
     """
 
     def __init__(
@@ -133,6 +139,7 @@ class CoCaClient:
         config: CoCaConfig,
         rng: np.random.Generator,
         cache_budget_bytes: int | None = None,
+        workspace: LookupWorkspace | None = None,
     ) -> None:
         self.client_id = client_id
         self.model = model
@@ -156,7 +163,9 @@ class CoCaClient:
         # The scalar engine stays the reference (and the public accessor
         # for the installed cache); rounds execute on the batched engine.
         self.engine = CachedInferenceEngine(model, cache=None)
-        self.batch_engine = BatchedInferenceEngine(model, cache=None)
+        self.batch_engine = BatchedInferenceEngine(
+            model, cache=None, workspace=workspace
+        )
 
     # ------------------------------------------------------------------
     # Protocol steps
@@ -190,6 +199,7 @@ class CoCaClient:
         self,
         num_frames: int | None = None,
         batch: SampleBatch | None = None,
+        timings: dict[str, float] | None = None,
     ) -> RoundReport:
         """Run F inferences, maintaining status and the update table.
 
@@ -205,6 +215,9 @@ class CoCaClient:
                 ignored when ``batch`` is given.
             batch: pre-drawn samples to run instead of consuming the
                 stream (used by the equivalence suite and benchmarks).
+            timings: optional accumulator for wall-clock stage seconds
+                (``"sample-gen"``, ``"probe"``, ``"model"``,
+                ``"collect"``) — the ``repro profile-round`` breakdown.
         """
         if batch is None:
             frames = (
@@ -212,15 +225,20 @@ class CoCaClient:
             )
             if frames < 1:
                 raise ValueError(f"num_frames must be >= 1, got {frames}")
+            start = time.perf_counter() if timings is not None else 0.0
             block = self.stream.take_block(frames)
             batch = self.model.draw_samples(block, self.client_id, self._rng)
+            if timings is not None:
+                timings["sample-gen"] = (
+                    timings.get("sample-gen", 0.0) + time.perf_counter() - start
+                )
         else:
             frames = len(batch)
             if frames < 1:
                 raise ValueError("batch must contain at least one sample")
 
         num_classes = self.model.num_classes
-        out = self.batch_engine.infer_batch_soa(batch)
+        out = self.batch_engine.infer_batch_soa(batch, timings=timings)
         predictions = out.predicted_class
 
         # Status vectors track the *inferred* class (no labels online).
@@ -245,7 +263,12 @@ class CoCaClient:
             update_entries={},
             frequencies=phi,
         )
+        start = time.perf_counter() if timings is not None else 0.0
         report.update_entries = self._collect_batch(batch, out, report)
+        if timings is not None:
+            timings["collect"] = (
+                timings.get("collect", 0.0) + time.perf_counter() - start
+            )
 
         true_list = batch.class_ids.tolist()
         pred_list = predictions.tolist()

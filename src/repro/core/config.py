@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class CoCaConfig:
@@ -39,6 +41,14 @@ class CoCaConfig:
             paper's motivation study (Fig. 1a) finds ~10% optimal.
         accuracy_loss_budget: SLO accuracy-loss constraint Omega (used by
             threshold selection helpers, not enforced per-inference).
+        lookup_dtype: storage/compute precision of client caches built by
+            the server — ``"float32"`` (default serving mode: scores
+            carry ~1e-6 relative rounding against decision margins of
+            ~1e-2, at twice the matmul throughput) or ``"float64"`` (the
+            bit-exact mode the scalar/batch equivalence suites run on).
+        prune_threshold: entry count at which a cache layer gains an
+            A-LSH candidate index and probes switch to the shortlist
+            kernel (``None`` = always probe the dense exact kernel).
     """
 
     alpha: float = 0.5
@@ -52,6 +62,8 @@ class CoCaConfig:
     recency_base: float = 0.20
     cache_budget_fraction: float = 0.10
     accuracy_loss_budget: float = 0.03
+    lookup_dtype: str = "float32"
+    prune_threshold: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -75,6 +87,20 @@ class CoCaConfig:
                 f"cache_budget_fraction must be in (0, 1], got "
                 f"{self.cache_budget_fraction}"
             )
+        if self.lookup_dtype not in ("float32", "float64"):
+            raise ValueError(
+                f'lookup_dtype must be "float32" or "float64", '
+                f"got {self.lookup_dtype!r}"
+            )
+        if self.prune_threshold is not None and self.prune_threshold < 2:
+            raise ValueError(
+                f"prune_threshold must be >= 2, got {self.prune_threshold}"
+            )
+
+    @property
+    def cache_dtype(self) -> np.dtype:
+        """The :attr:`lookup_dtype` as a NumPy dtype."""
+        return np.dtype(self.lookup_dtype)
 
     def with_theta(self, theta: float) -> "CoCaConfig":
         """A copy with a different hit threshold (SLO tuning)."""

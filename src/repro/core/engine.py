@@ -27,11 +27,12 @@ path, which never materializes per-sample objects.
 
 from __future__ import annotations
 
+import time
 from typing import NamedTuple, Sequence
 
 import numpy as np
 
-from repro.core.cache import LayerProbe, SemanticCache
+from repro.core.cache import LayerProbe, LookupWorkspace, SemanticCache
 from repro.models.base import SimulatedModel
 from repro.models.feature import SampleBatch, SampleFeatures
 
@@ -114,6 +115,10 @@ class CachedInferenceEngine:
             )
 
         session = self.cache.start_session()
+        pruned_layers = self.cache.pruned_layers()
+        if pruned_layers:
+            deepest = pruned_layers[-1]
+            session.prime_shortlist(deepest, sample.vector(deepest))
         probes: list[LayerProbe] = []
         lookup_ms = 0.0
         for layer in self.cache.active_layers:
@@ -187,15 +192,31 @@ class BatchedInferenceEngine:
         model: the simulated model substrate.
         cache: the client's current :class:`SemanticCache`, or ``None``
             for pure Edge-Only execution.
+        workspace: reusable probe buffers; pass a shared
+            :class:`~repro.core.cache.LookupWorkspace` (e.g. one per
+            cluster node) to pool scratch memory across engines, or let
+            the engine own a private one.  Buffers persist across
+            batches and rounds, so steady-state probes allocate nothing
+            proportional to ``batch x n_entries``.
     """
 
-    def __init__(self, model: SimulatedModel, cache: SemanticCache | None = None) -> None:
+    def __init__(
+        self,
+        model: SimulatedModel,
+        cache: SemanticCache | None = None,
+        workspace: LookupWorkspace | None = None,
+    ) -> None:
         self.model = model
         self.cache = cache
+        self.workspace = workspace if workspace is not None else LookupWorkspace()
 
     def set_cache(self, cache: SemanticCache | None) -> None:
         """Swap in a newly allocated cache (start of a CoCa round)."""
         self.cache = cache
+
+    def set_workspace(self, workspace: LookupWorkspace) -> None:
+        """Re-point the engine at a shared workspace (cluster pooling)."""
+        self.workspace = workspace
 
     def infer_batch(
         self, samples: SampleBatch | Sequence[SampleFeatures]
@@ -226,14 +247,27 @@ class BatchedInferenceEngine:
                 for predicted, gap in zip(predictions.tolist(), gaps.tolist())
             ]
 
-        session = cache.start_batch_session(batch)
+        session = cache.start_batch_session(batch, workspace=self.workspace)
+        if vectors.dtype == cache.dtype:
+            probe_vectors = vectors
+        else:
+            probe_vectors = vectors.astype(cache.dtype)
+        pruned_layers = cache.pruned_layers()
+        if pruned_layers:
+            deepest = pruned_layers[-1]
+            session.prime_shortlist(deepest, probe_vectors[:, deepest, :])
+        dim = probe_vectors.shape[-1]
         outcomes: list[InferenceOutcome | None] = [None] * batch
         probes: list[list[LayerProbe]] = [[] for _ in range(batch)]
         lookup_ms = np.zeros(batch)
         alive = np.arange(batch)
         for layer in cache.active_layers:
             lookup_ms[alive] += profile.lookup_cost_ms(cache.num_entries(layer))
-            result = session.probe(layer, vectors[alive, layer, :], rows=alive)
+            gathered = self.workspace.floats(
+                "engine.take", (alive.size, dim), cache.dtype
+            )
+            np.take(probe_vectors[:, layer, :], alive, axis=0, out=gathered)
+            result = session.probe(layer, gathered, rows=alive)
             # Bulk-convert once: per-element numpy scalar indexing would
             # dominate the whole batch pass.
             rows = alive.tolist()
@@ -276,7 +310,9 @@ class BatchedInferenceEngine:
         return outcomes  # type: ignore[return-value]
 
     def infer_batch_soa(
-        self, samples: SampleBatch | Sequence[SampleFeatures]
+        self,
+        samples: SampleBatch | Sequence[SampleFeatures],
+        timings: dict[str, float] | None = None,
     ) -> BatchOutcomes:
         """Run a batch, returning :class:`BatchOutcomes` arrays.
 
@@ -284,7 +320,16 @@ class BatchedInferenceEngine:
         :meth:`infer_batch` (and therefore as the scalar engine), but the
         outcomes stay as whole-batch arrays: nothing per-sample is
         constructed, which is what keeps a full protocol round
-        array-at-a-time end to end.
+        array-at-a-time end to end.  Per-layer vector gathers go through
+        the engine workspace (``np.take`` into pooled buffers) and the
+        sample tensor is cast to the cache dtype at most once per batch.
+
+        Args:
+            samples: the batch to run.
+            timings: optional accumulator for wall-clock stage seconds
+                (keys ``"probe"`` — cache lookups including gathers —
+                and ``"model"`` — final-layer classification); used by
+                the ``repro profile-round`` CLI breakdown.
         """
         profile = self.model.profile
         cache = self.cache
@@ -300,18 +345,36 @@ class BatchedInferenceEngine:
         final = self.model.feature_space.final_layer
 
         if cache is None or not cache.active_layers:
+            start = time.perf_counter() if timings is not None else 0.0
             predictions, gaps = self.model.classify_vectors(vectors[:, final, :])
+            if timings is not None:
+                timings["model"] = (
+                    timings.get("model", 0.0) + time.perf_counter() - start
+                )
             predicted[:] = predictions
             latency[:] = profile.total_compute_ms
             top2_gap[:] = gaps
             return BatchOutcomes(predicted, hit_layer, latency, hit_score, top2_gap)
 
-        session = cache.start_batch_session(batch)
+        start = time.perf_counter() if timings is not None else 0.0
+        session = cache.start_batch_session(batch, workspace=self.workspace)
+        workspace = self.workspace
+        if vectors.dtype == cache.dtype:
+            probe_vectors = vectors
+        else:
+            probe_vectors = vectors.astype(cache.dtype)
+        pruned_layers = cache.pruned_layers()
+        if pruned_layers:
+            deepest = pruned_layers[-1]
+            session.prime_shortlist(deepest, probe_vectors[:, deepest, :])
+        dim = probe_vectors.shape[-1]
         lookup_ms = np.zeros(batch)
         alive = np.arange(batch)
         for layer in cache.active_layers:
             lookup_ms[alive] += profile.lookup_cost_ms(cache.num_entries(layer))
-            result = session.probe(layer, vectors[alive, layer, :], rows=alive)
+            gathered = workspace.floats("engine.take", (alive.size, dim), cache.dtype)
+            np.take(probe_vectors[:, layer, :], alive, axis=0, out=gathered)
+            result = session.probe(layer, gathered, rows=alive)
             if result.hit.any():
                 hitters = alive[result.hit]
                 predicted[hitters] = result.top_class[result.hit]
@@ -323,9 +386,18 @@ class BatchedInferenceEngine:
                 alive = alive[~result.hit]
                 if alive.size == 0:
                     break
+        if timings is not None:
+            timings["probe"] = (
+                timings.get("probe", 0.0) + time.perf_counter() - start
+            )
 
         if alive.size:
+            start = time.perf_counter() if timings is not None else 0.0
             predictions, gaps = self.model.classify_vectors(vectors[alive, final, :])
+            if timings is not None:
+                timings["model"] = (
+                    timings.get("model", 0.0) + time.perf_counter() - start
+                )
             predicted[alive] = predictions
             latency[alive] = profile.total_compute_ms + lookup_ms[alive]
             top2_gap[alive] = gaps

@@ -26,11 +26,13 @@ table keeps its initial shared-dataset centroids.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.allocation import AllocationResult, aca_allocate
+from repro.core.cache import LookupWorkspace
 from repro.core.client import CoCaClient, RoundReport
 from repro.core.config import CoCaConfig
 from repro.core.server import CoCaServer
@@ -150,6 +152,10 @@ class CoCaFramework:
         self.server.initialize_from_shared_dataset(np.random.default_rng(server_seed))
 
         budget = self.server.cache_size_limit_bytes(budget_fraction)
+        #: One probe-buffer pool for the whole deployment: rounds run
+        #: clients sequentially, so every engine can share it — probe
+        #: scratch memory stays constant in the client count.
+        self.workspace = LookupWorkspace()
         self.clients: list[CoCaClient] = []
         for k in range(num_clients):
             rng = np.random.default_rng(client_seeds[k])
@@ -166,6 +172,7 @@ class CoCaFramework:
                 config=self.config,
                 rng=rng,
                 cache_budget_bytes=budget,
+                workspace=self.workspace,
             )
             client.seed_hit_ratio(self.server.reference_hit_ratio)
             self.clients.append(client)
@@ -211,7 +218,11 @@ class CoCaFramework:
     # ------------------------------------------------------------------
 
     def run_round(
-        self, round_index: int = 0, *, reference: bool = False
+        self,
+        round_index: int = 0,
+        *,
+        reference: bool = False,
+        timings: dict[str, float] | None = None,
     ) -> list[RoundReport]:
         """Execute one full protocol round.
 
@@ -226,6 +237,11 @@ class CoCaFramework:
         path instead (:meth:`CoCaClient.run_round_reference` and the
         per-entry Eq. 4 merge) — the seed implementation, kept for the
         equivalence suite and the round-pipeline benchmark.
+
+        ``timings`` (vectorized path only) accumulates wall-clock stage
+        seconds — ``allocate`` / ``sample-gen`` / ``probe`` / ``model``
+        / ``collect`` / ``merge`` — for the ``repro profile-round``
+        breakdown.
         """
         if self.temporal_drift_per_round > 0:
             self.model.feature_space.evolve_drift(
@@ -249,6 +265,7 @@ class CoCaFramework:
         reports: list[RoundReport] = []
         for client in joining:
             status = client.status()
+            start = time.perf_counter() if timings is not None else 0.0
             if self.enable_dca:
                 cache, _ = self.server.allocate(
                     status.timestamps,
@@ -259,13 +276,21 @@ class CoCaFramework:
             else:
                 assert self._static_allocation is not None
                 cache = self.server.build_cache(self._static_allocation.layer_classes)
+            if timings is not None:
+                timings["allocate"] = (
+                    timings.get("allocate", 0.0) + time.perf_counter() - start
+                )
             client.install_cache(cache)
-            report = (
-                client.run_round_reference() if reference else client.run_round()
-            )
+            if reference:
+                report = client.run_round_reference()
+            elif timings is not None:
+                report = client.run_round(timings=timings)
+            else:
+                report = client.run_round()
             reports.append(report)
         # Global updates happen after all clients finish the round.
         if self.enable_gcu:
+            start = time.perf_counter() if timings is not None else 0.0
             for report in reports:
                 if reference:
                     self.server.apply_client_update_reference(
@@ -275,6 +300,10 @@ class CoCaFramework:
                     self.server.apply_client_update(
                         report.update_entries, report.frequencies
                     )
+            if timings is not None:
+                timings["merge"] = (
+                    timings.get("merge", 0.0) + time.perf_counter() - start
+                )
         else:
             # Frequencies still accumulate (they are bookkeeping, not cache
             # content); only the semantic entries stay frozen.

@@ -30,7 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.allocation import AllocationResult, aca_allocate
-from repro.core.cache import SemanticCache, discriminative_score
+from repro.core.cache import LookupWorkspace, SemanticCache
 from repro.core.config import CoCaConfig
 from repro.data.stream import StreamGenerator
 from repro.models.base import SimulatedModel
@@ -258,6 +258,8 @@ class CoCaServer:
         self._entry_sizes = np.array(
             [model.profile.entry_size_bytes(j) for j in range(num_layers)]
         )
+        #: Scratch buffers reused by every batched calibration pass.
+        self.workspace = LookupWorkspace()
 
     # ------------------------------------------------------------------
     # Initialization from the global shared dataset
@@ -369,17 +371,14 @@ class CoCaServer:
         cached_hits = np.zeros(num_layers)
         correct = np.zeros(num_layers)
         model_correct_on_hitters = np.zeros(num_layers)
-        take = np.arange(num_samples)
+        workspace = self.workspace
+        score = np.empty(num_samples)
         for layer in range(num_layers):
-            # Top-2 via two argmax passes (the BatchedLookupSession trick):
-            # mask the winner, find the runner-up, restore.
-            sims = similarity[layer]
-            best_idx = np.argmax(sims, axis=1)
-            best = sims[take, best_idx]  # fancy indexing copies
-            sims[take, best_idx] = -np.inf
-            second = sims[take, np.argmax(sims, axis=1)]
-            sims[take, best_idx] = best
-            score = discriminative_score(best, second)
+            # Top-2 and Eq. 2 scoring through the shared workspace (the
+            # BatchedLookupSession kernel's buffers): mask the winner,
+            # find the runner-up, restore — no per-layer temporaries.
+            best_idx, _, best, second = workspace.top2(similarity[layer])
+            workspace.scores_into(best, second, score)
             fire = (score > theta) & (best > 0)
             fires[layer] = fire.sum()
             cached_hits[layer] = (fire & is_cached).sum()
@@ -493,9 +492,19 @@ class CoCaServer:
         return cache, result
 
     def build_cache(self, layer_classes: dict[int, np.ndarray]) -> SemanticCache:
-        """Materialize a client cache from a layer -> classes mapping."""
+        """Materialize a client cache from a layer -> classes mapping.
+
+        The cache follows the config's serving policy: centroids stored
+        in ``config.lookup_dtype`` and — when ``config.prune_threshold``
+        is set — A-LSH candidate indexes on every layer large enough to
+        benefit from shortlisted probes.
+        """
         cache = SemanticCache(
-            self.model.num_classes, alpha=self.config.alpha, theta=self.config.theta
+            self.model.num_classes,
+            alpha=self.config.alpha,
+            theta=self.config.theta,
+            dtype=self.config.cache_dtype,
+            prune_threshold=self.config.prune_threshold,
         )
         for layer, (ids, centroids) in self.table.subtable(layer_classes).items():
             cache.set_layer_entries(layer, ids, centroids)

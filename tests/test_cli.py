@@ -148,3 +148,46 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "0.050" in out
+
+    def test_profile_round_runs(self, capsys):
+        code = main(
+            [
+                "profile-round",
+                "--dataset", "ucf101",
+                "--classes", "10",
+                "--model", "resnet50",
+                "--clients", "2",
+                "--rounds", "1",
+                "--warmup", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for stage in ("sample-gen", "probe", "model", "collect", "allocate",
+                      "merge"):
+            assert stage in out
+        assert "inf/s" in out
+
+    def test_profile_round_json_output(self, capsys):
+        code = main(
+            [
+                "profile-round",
+                "--dataset", "ucf101",
+                "--classes", "10",
+                "--model", "resnet50",
+                "--clients", "2",
+                "--rounds", "1",
+                "--warmup", "0",
+                "--dtype", "float64",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["lookup_dtype"] == "float64"
+        assert payload["scenario"]["frames"] == 2 * 300
+        assert set(payload["stages_ms"]) == {
+            "sample-gen", "probe", "model", "collect", "allocate", "merge"
+        }
+        assert payload["total_ms"] > 0
+        assert payload["inferences_per_s"] > 0

@@ -560,3 +560,19 @@ class TestPerClassHitRates:
         assert per_class_hit_rates(records, min_samples=2) == {0: 0.5}
         with pytest.raises(ValueError):
             per_class_hit_rates(records, min_samples=0)
+
+
+class TestNodeWorkspaceSharing:
+    def test_assigned_clients_share_their_node_workspace(self):
+        cluster = ClusterFramework(
+            dataset=get_dataset("ucf101", 12),
+            model_name="resnet50",
+            num_shards=2,
+            num_clients=4,
+            config=CoCaConfig(frames_per_round=30),
+            seed=5,
+        )
+        for client_id, node_id in enumerate(cluster.assignment):
+            engine = cluster.clients[client_id].batch_engine
+            assert engine.workspace is cluster.nodes[node_id].workspace
+        assert cluster.nodes[0].workspace is not cluster.nodes[1].workspace

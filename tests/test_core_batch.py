@@ -4,6 +4,12 @@ The batched inference subsystem must be a pure performance optimization:
 for any cache configuration, :class:`BatchedInferenceEngine.infer_batch`
 must reproduce ``CachedInferenceEngine.infer`` outcome for outcome —
 predictions, hit layers, latencies, and per-layer probe records.
+
+Caches here are built in the float64 exact mode: scalar probes run
+through BLAS gemv and batched probes through gemm, whose float32
+rounding differs in the last ulp — the documented single-precision
+tolerance.  The float32-vs-float64 *decision* parity has its own suite
+(``tests/test_dtype_parity.py``); this one pins the exact path.
 """
 
 import numpy as np
@@ -29,24 +35,24 @@ def _build_cache(model, variant):
     num_classes = model.num_classes
     all_ids = np.arange(num_classes)
     if variant == "all_layers":
-        cache = SemanticCache(num_classes, theta=0.05)
+        cache = SemanticCache(num_classes, theta=0.05, dtype=np.float64)
         for layer in range(model.num_cache_layers):
             cache.set_layer_entries(layer, all_ids, model.ideal_centroids(layer))
     elif variant == "floored":
-        cache = SemanticCache(num_classes, theta=0.02)
+        cache = SemanticCache(num_classes, theta=0.02, dtype=np.float64)
         for layer in range(model.num_cache_layers):
             cache.set_layer_entries(layer, all_ids, model.ideal_centroids(layer))
             cache.set_similarity_floor(layer, 0.85)
     elif variant == "partial":
-        cache = SemanticCache(num_classes, theta=0.02, alpha=0.7)
+        cache = SemanticCache(num_classes, theta=0.02, alpha=0.7, dtype=np.float64)
         cache.set_layer_entries(1, all_ids[:5], model.ideal_centroids(1)[:5])
         cache.set_layer_entries(3, all_ids, model.ideal_centroids(3))
     elif variant == "single_entry":
-        cache = SemanticCache(num_classes, theta=0.0)
+        cache = SemanticCache(num_classes, theta=0.0, dtype=np.float64)
         cache.set_layer_entries(0, all_ids[2:3], model.ideal_centroids(0)[2:3])
         cache.set_layer_entries(4, all_ids, model.ideal_centroids(4))
     elif variant == "impossible":
-        cache = SemanticCache(num_classes, theta=np.inf)
+        cache = SemanticCache(num_classes, theta=np.inf, dtype=np.float64)
         for layer in range(model.num_cache_layers):
             cache.set_layer_entries(layer, all_ids, model.ideal_centroids(layer))
     else:  # pragma: no cover - guard against typos in parametrize
@@ -103,7 +109,7 @@ class TestBatchEquivalence:
         )
 
     def test_empty_cache_matches_scalar(self, tiny_model):
-        cache = SemanticCache(tiny_model.num_classes)
+        cache = SemanticCache(tiny_model.num_classes, dtype=np.float64)
         samples = _draw_samples(tiny_model, 5, 10)
         scalar_engine = CachedInferenceEngine(tiny_model, cache)
         batch_engine = BatchedInferenceEngine(tiny_model, cache)

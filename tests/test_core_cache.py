@@ -235,3 +235,191 @@ class TestLookupProperties:
         probe = session.probe(0, _unit(rng.standard_normal(8)))
         scores = [session.accumulated_score(i) for i in range(5)]
         assert probe.top_class == int(np.argmax(scores))
+
+
+class TestDtypePolicy:
+    def test_default_dtype_is_float32(self):
+        assert SemanticCache(4).dtype == np.dtype(np.float32)
+
+    def test_entries_stored_in_cache_dtype_contiguous(self):
+        for dtype in (np.float32, np.float64):
+            cache = SemanticCache(5, dtype=dtype)
+            ids, mat = _orthogonal_entries(3)
+            cache.set_layer_entries(0, ids, mat)
+            _, stored = cache.entries_at(0)
+            assert stored.dtype == np.dtype(dtype)
+            assert stored.flags.c_contiguous
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(ValueError):
+            SemanticCache(4, dtype=np.int32)
+        with pytest.raises(ValueError):
+            SemanticCache(4, dtype=np.float16)
+
+    def test_rejects_bad_prune_threshold(self):
+        with pytest.raises(ValueError):
+            SemanticCache(4, prune_threshold=1)
+
+    def test_content_equal_distinguishes_dtype(self):
+        ids, mat = _orthogonal_entries(3)
+        caches = []
+        for dtype in (np.float32, np.float64):
+            cache = SemanticCache(5, dtype=dtype)
+            cache.set_layer_entries(0, ids, mat)
+            caches.append(cache)
+        assert not caches[0].content_equal(caches[1])
+        assert caches[0].content_equal(caches[0])
+
+    def test_sessions_accumulate_in_cache_dtype(self):
+        cache = SemanticCache(4, dtype=np.float32)
+        ids, mat = _orthogonal_entries(3)
+        cache.set_layer_entries(0, ids, mat)
+        session = cache.start_session()
+        probe = session.probe(0, _unit([1.0, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]))
+        assert isinstance(probe.score, float)
+        batch = cache.start_batch_session(2)
+        result = batch.probe(0, np.tile(_unit(np.ones(8)), (2, 1)))
+        assert result.score.dtype == np.dtype(np.float32)
+
+
+class TestEmptyRowSubset:
+    def _cache(self, entries=3):
+        cache = SemanticCache(5)
+        ids, mat = _orthogonal_entries(entries)
+        cache.set_layer_entries(0, ids, mat)
+        return cache
+
+    def test_empty_rows_returns_empty_probe(self):
+        """An empty alive subset is a no-op probe, not a degenerate-layer
+        special case."""
+        cache = self._cache()
+        session = cache.start_batch_session(4)
+        result = session.probe(0, np.zeros((0, 8)), rows=np.zeros(0, dtype=int))
+        assert result.rows.size == 0
+        assert result.top_class.size == 0
+        assert result.second_class.size == 0
+        assert result.score.size == 0
+        assert result.hit.size == 0
+
+    def test_empty_rows_on_degenerate_layer(self):
+        """Even a single-entry layer returns empty arrays for an empty
+        subset (the seed tripped the ids.size < 2 branch instead)."""
+        cache = self._cache(entries=1)
+        session = cache.start_batch_session(4)
+        result = session.probe(0, np.zeros((0, 8)), rows=np.zeros(0, dtype=int))
+        assert result.top_class.size == 0
+        assert result.hit.size == 0
+
+    def test_empty_probe_leaves_accumulator_untouched(self):
+        cache = self._cache()
+        session = cache.start_batch_session(2)
+        session.probe(0, np.zeros((0, 8)), rows=np.zeros(0, dtype=int))
+        for row in range(2):
+            for class_id in range(5):
+                assert session.accumulated_score(row, class_id) == 0.0
+
+
+class TestColumnModeAccumulator:
+    """The (batch, n_entries) fast-path accumulator must spill to the
+    general per-class matrix exactly when layer id sets diverge."""
+
+    def _caches(self, dtype):
+        rng = np.random.default_rng(0)
+        same = SemanticCache(10, theta=0.0, dtype=dtype)
+        mixed = SemanticCache(10, theta=0.0, dtype=dtype)
+        ids = np.arange(8)
+        for layer in range(3):
+            same.set_layer_entries(layer, ids, rng.standard_normal((8, 6)))
+        mixed.set_layer_entries(0, ids, rng.standard_normal((8, 6)))
+        mixed.set_layer_entries(1, np.arange(2, 10), rng.standard_normal((8, 6)))
+        return same, mixed
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_divergent_ids_spill_and_stay_correct(self, dtype):
+        _, mixed = self._caches(dtype)
+        rng = np.random.default_rng(4)
+        vectors = rng.standard_normal((3, 2, 6))
+        batch = mixed.start_batch_session(3)
+        scalars = [mixed.start_session() for _ in range(3)]
+        for layer in range(2):
+            vecs = np.ascontiguousarray(vectors[:, layer, :], dtype=dtype)
+            result = batch.probe(layer, vecs)
+            for i, session in enumerate(scalars):
+                probe = session.probe(layer, vecs[i])
+                assert result.top_class[i] == probe.top_class
+                assert result.score[i] == pytest.approx(probe.score, rel=1e-5)
+        assert batch._acc_full is not None  # spilled on layer 1
+        for i, session in enumerate(scalars):
+            for class_id in range(10):
+                assert batch.accumulated_score(i, class_id) == pytest.approx(
+                    session.accumulated_score(class_id), rel=1e-5, abs=1e-6
+                )
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_shared_ids_stay_in_column_mode(self, dtype):
+        same, _ = self._caches(dtype)
+        rng = np.random.default_rng(4)
+        vectors = rng.standard_normal((3, 3, 6))
+        batch = same.start_batch_session(3)
+        scalars = [same.start_session() for _ in range(3)]
+        for layer in range(3):
+            vecs = np.ascontiguousarray(vectors[:, layer, :], dtype=dtype)
+            result = batch.probe(layer, vecs)
+            for i, session in enumerate(scalars):
+                probe = session.probe(layer, vecs[i])
+                assert result.top_class[i] == probe.top_class
+                assert bool(result.hit[i]) == probe.hit
+        assert batch._acc_full is None  # never left column mode
+        for i, session in enumerate(scalars):
+            for class_id in range(10):
+                assert batch.accumulated_score(i, class_id) == pytest.approx(
+                    session.accumulated_score(class_id), rel=1e-5, abs=1e-6
+                )
+
+
+class TestLookupWorkspace:
+    def test_buffers_are_reused(self):
+        from repro.core.cache import LookupWorkspace
+
+        workspace = LookupWorkspace()
+        first = workspace.floats("x", (4, 8), np.float32)
+        second = workspace.floats("x", (2, 8), np.float32)
+        assert np.shares_memory(first, second)
+        grown = workspace.floats("x", (64, 64), np.float32)
+        assert grown.shape == (64, 64)
+
+    def test_pools_keyed_by_dtype(self):
+        from repro.core.cache import LookupWorkspace
+
+        workspace = LookupWorkspace()
+        f32 = workspace.floats("x", (8,), np.float32)
+        f64 = workspace.floats("x", (8,), np.float64)
+        assert f32.dtype == np.float32 and f64.dtype == np.float64
+        assert not np.shares_memory(f32, f64)
+
+    def test_top2_matches_sort(self):
+        from repro.core.cache import LookupWorkspace
+
+        rng = np.random.default_rng(3)
+        workspace = LookupWorkspace()
+        matrix = np.ascontiguousarray(rng.standard_normal((10, 7)))
+        snapshot = matrix.copy()
+        best_idx, second_idx, best, second = workspace.top2(matrix)
+        assert np.array_equal(matrix, snapshot)  # restored in place
+        order = np.argsort(snapshot, axis=1)
+        assert np.array_equal(best_idx, order[:, -1])
+        assert np.allclose(best, np.take_along_axis(snapshot, order[:, -1:], 1)[:, 0])
+        assert np.allclose(second, np.take_along_axis(snapshot, order[:, -2:-1], 1)[:, 0])
+        del second_idx
+
+    def test_scores_into_matches_reference(self):
+        from repro.core.cache import LookupWorkspace
+
+        rng = np.random.default_rng(5)
+        workspace = LookupWorkspace()
+        best = rng.standard_normal(32)
+        second = rng.standard_normal(32)
+        second[:8] = -np.abs(second[:8])  # non-positive runner-ups clamp
+        out = np.empty(32)
+        workspace.scores_into(best, second, out)
+        assert np.array_equal(out, discriminative_score(best, second))

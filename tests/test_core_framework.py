@@ -120,3 +120,25 @@ class TestFrameworkRuns:
         dataset, config = small_setup
         with pytest.raises(ValueError):
             _framework(dataset, config).run(0)
+
+
+class TestWorkspaceAndTimings:
+    def test_clients_share_the_framework_workspace(self, small_setup):
+        dataset, config = small_setup
+        fw = _framework(dataset, config)
+        assert all(
+            client.batch_engine.workspace is fw.workspace
+            for client in fw.clients
+        )
+
+    def test_run_round_accumulates_stage_timings(self, small_setup):
+        dataset, config = small_setup
+        fw = _framework(dataset, config)
+        timings = {}
+        fw.run_round(0, timings=timings)
+        for stage in ("allocate", "sample-gen", "probe", "collect", "merge"):
+            assert timings[stage] >= 0.0
+        # A second instrumented round accumulates (doesn't reset).
+        first_probe = timings["probe"]
+        fw.run_round(1, timings=timings)
+        assert timings["probe"] >= first_probe

@@ -1,0 +1,163 @@
+"""Serving-precision parity: float32 probe path vs the float64 exact mode.
+
+The dtype policy's contract (see ``repro.core.cache``): storing centroids
+and running probe math in single precision must not change any observable
+*decision*.  Scores carry ~1e-6 relative rounding, but hit thresholds and
+top-2 margins sit orders of magnitude above it, so a full framework run on
+the preset cache must produce identical hit/miss decisions, predictions,
+and per-class hit rates in both precisions — and, since collection is
+decision-driven and update vectors stay float64, bit-identical merged
+global tables.
+
+The LSH-pruned kernel has the complementary contract: with the shortlist
+threshold disabled (``prune_threshold=None`` or above the layer size),
+probes run the dense kernel bit for bit; and when the shortlist covers
+every cached class, the pruned kernel's outputs equal the dense kernel's
+exactly (it *is* the dense kernel on the full column set).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import LookupWorkspace, SemanticCache
+from repro.core.config import CoCaConfig
+from repro.core.framework import CoCaFramework
+from repro.data.datasets import get_dataset
+from repro.sim.metrics import per_class_hit_rates
+
+
+def _framework(lookup_dtype: str) -> CoCaFramework:
+    return CoCaFramework(
+        dataset=get_dataset("ucf101", 30),
+        model_name="resnet101",
+        num_clients=4,
+        seed=11,
+        enable_dca=False,  # the preset cache: every class at every layer
+        config=CoCaConfig(frames_per_round=150, lookup_dtype=lookup_dtype),
+    )
+
+
+class TestFrameworkPrecisionParity:
+    def test_full_run_decisions_identical(self):
+        fast = _framework("float32")
+        exact = _framework("float64")
+        records32: list = []
+        records64: list = []
+        for r in range(3):
+            for report in fast.run_round(r):
+                records32.extend(report.records)
+            for report in exact.run_round(r):
+                records64.extend(report.records)
+        assert len(records32) == len(records64) == 4 * 150 * 3
+        for a, b in zip(records32, records64):
+            assert a.predicted_class == b.predicted_class
+            assert a.hit_layer == b.hit_layer
+            assert a.true_class == b.true_class
+        # Identical decisions -> identical per-class hit rates...
+        rates32 = per_class_hit_rates(records32, fast.model.num_classes)
+        rates64 = per_class_hit_rates(records64, exact.model.num_classes)
+        assert np.array_equal(rates32, rates64)
+        # ...and identical collection, hence bit-identical merged tables
+        # (update vectors are drawn and folded in float64 either way).
+        assert np.array_equal(
+            fast.server.table.entries, exact.server.table.entries
+        )
+        assert np.array_equal(
+            fast.server.table.class_freq, exact.server.table.class_freq
+        )
+
+    def test_float32_is_the_serving_default(self):
+        assert CoCaConfig().lookup_dtype == "float32"
+        assert CoCaConfig().cache_dtype == np.dtype(np.float32)
+        assert SemanticCache(4).dtype == np.dtype(np.float32)
+
+    def test_served_caches_follow_config_dtype(self):
+        fast = _framework("float32")
+        exact = _framework("float64")
+        for framework, dtype in ((fast, np.float32), (exact, np.float64)):
+            framework.run_round(0)
+            cache = framework.clients[0].engine.cache
+            assert cache is not None
+            assert cache.dtype == np.dtype(dtype)
+            for layer in cache.active_layers:
+                _, mat = cache.entries_at(layer)
+                assert mat.dtype == np.dtype(dtype)
+                assert mat.flags.c_contiguous
+
+
+def _populate(cache: SemanticCache, rng: np.random.Generator, layers=3, dim=24):
+    num = cache.num_classes
+    for layer in range(layers):
+        mats = rng.standard_normal((num, dim))
+        cache.set_layer_entries(layer, np.arange(num), mats)
+
+
+class TestPrunedDenseEquivalence:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_disabled_threshold_is_bitwise_dense(self, dtype):
+        """A threshold above the layer size builds no index: probes are
+        the dense kernel, bit for bit."""
+        rng = np.random.default_rng(5)
+        dense = SemanticCache(40, theta=0.03, dtype=dtype)
+        disabled = SemanticCache(40, theta=0.03, dtype=dtype, prune_threshold=1000)
+        for cache in (dense, disabled):
+            _populate(cache, np.random.default_rng(7))
+        assert disabled.pruned_layers() == []
+        workspace = LookupWorkspace()
+        queries = rng.standard_normal((16, 3, 24))
+        s_dense = dense.start_batch_session(16, workspace=workspace)
+        s_off = disabled.start_batch_session(16, workspace=workspace)
+        for layer in range(3):
+            vecs = np.ascontiguousarray(queries[:, layer, :], dtype=dtype)
+            a = s_dense.probe(layer, vecs)
+            b = s_off.probe(layer, vecs)
+            assert np.array_equal(a.top_class, b.top_class)
+            assert np.array_equal(a.second_class, b.second_class)
+            assert np.array_equal(a.score, b.score)
+            assert np.array_equal(a.hit, b.hit)
+
+    def test_full_shortlist_equals_dense_exactly(self):
+        """When the session shortlist covers every cached class, the
+        pruned kernel is the dense kernel on the full column set."""
+        rng = np.random.default_rng(9)
+        dense = SemanticCache(30, theta=0.03, dtype=np.float64)
+        pruned = SemanticCache(30, theta=0.03, dtype=np.float64, prune_threshold=2)
+        for cache in (dense, pruned):
+            _populate(cache, np.random.default_rng(3))
+        assert pruned.pruned_layers() == [0, 1, 2]
+        workspace = LookupWorkspace()
+        queries = rng.standard_normal((12, 3, 24))
+        s_dense = dense.start_batch_session(12, workspace=workspace)
+        s_pruned = pruned.start_batch_session(12, workspace=workspace)
+        # Force the full shortlist: every class is a candidate.
+        s_pruned._shortlist = np.arange(30)
+        for layer in range(3):
+            vecs = np.ascontiguousarray(queries[:, layer, :])
+            a = s_dense.probe(layer, vecs)
+            b = s_pruned.probe(layer, vecs)
+            assert np.array_equal(a.top_class, b.top_class)
+            assert np.array_equal(a.second_class, b.second_class)
+            assert np.array_equal(a.score, b.score)
+            assert np.array_equal(a.hit, b.hit)
+
+    def test_pruned_session_pins_a_shortlist(self):
+        pruned = SemanticCache(50, theta=0.03, prune_threshold=2)
+        _populate(pruned, np.random.default_rng(3))
+        session = pruned.start_batch_session(4)
+        assert session._shortlist is None
+        queries = np.random.default_rng(1).standard_normal((4, 24))
+        session.probe(0, np.ascontiguousarray(queries, dtype=np.float32))
+        shortlist = session._shortlist
+        assert shortlist is not None and shortlist.size >= 1
+        # The shortlist is pinned: deeper probes reuse it unchanged.
+        session.probe(1, np.ascontiguousarray(queries, dtype=np.float32))
+        assert session._shortlist is shortlist
+
+    def test_scalar_pruned_probe_well_formed(self):
+        pruned = SemanticCache(50, theta=0.0, prune_threshold=2)
+        _populate(pruned, np.random.default_rng(3))
+        ids, mat = pruned.entries_at(1)
+        session = pruned.start_session()
+        probe = session.probe(1, mat[7])
+        assert probe.top_class == 7  # its own centroid wins
+        assert probe.second_class != probe.top_class

@@ -168,6 +168,139 @@ class TestHomogenizedKnn:
         assert 0.0 <= vote.homogeneity <= 1.0
 
 
+class TestStorageReclamation:
+    def test_rebuild_purges_dead_rows(self, rng):
+        """`delete` leaks no storage past the next rebuild: the backing
+        matrix shrinks to exactly the new content."""
+        index = AdaptiveLSH(dim=8, rng=rng)
+        for vec in _unit_rows(rng, 30, 8):
+            index.insert(vec)
+        for item in range(0, 30, 2):
+            index.delete(item)
+        assert index.storage_rows >= 30  # dead rows still held
+        fresh = _unit_rows(rng, 6, 8)
+        ids = index.rebuild(fresh)
+        assert index.storage_rows == 6
+        assert len(index) == 6
+        assert list(ids) == list(range(6))
+        for item, vec in zip(ids, fresh):
+            assert item in index.query(vec)
+
+    def test_heavy_deletion_compacts_automatically(self, rng):
+        """Once dead rows outnumber live ones, storage compacts without
+        an explicit rebuild — and surviving ids stay valid."""
+        index = AdaptiveLSH(dim=8, rng=rng, base_bits=3, max_bucket_size=8)
+        vectors = _unit_rows(rng, 120, 8)
+        ids = [index.insert(vec) for vec in vectors]
+        peak = index.storage_rows
+        for item in ids[:100]:
+            index.delete(item)
+        assert index.storage_rows < peak
+        assert len(index) == 20
+        for item, vec in zip(ids[100:], vectors[100:]):
+            assert item in index.query(vec)
+            assert np.allclose(index.vector(item), vec)
+
+    def test_delete_is_idempotent(self, rng):
+        index = AdaptiveLSH(dim=8, rng=rng)
+        item = index.insert(_unit_rows(rng, 1, 8)[0])
+        index.delete(item)
+        index.delete(item)  # no-op, no error
+        assert len(index) == 0
+
+    def test_rebuild_reuses_hyperplanes(self, rng):
+        index = AdaptiveLSH(dim=8, rng=rng)
+        planes_before = index._planes.copy()
+        index.rebuild(_unit_rows(rng, 10, 8))
+        assert np.array_equal(index._planes, planes_before)
+
+    def test_insert_many_matches_sequential_inserts(self, rng):
+        vectors = _unit_rows(rng, 50, 10)
+        bulk = AdaptiveLSH(dim=10, rng=np.random.default_rng(3), base_bits=3,
+                           max_bucket_size=6)
+        one = AdaptiveLSH(dim=10, rng=np.random.default_rng(3), base_bits=3,
+                          max_bucket_size=6)
+        bulk.insert_many(vectors)
+        for vec in vectors:
+            one.insert(vec)
+        for vec in vectors:
+            assert sorted(bulk.query(vec)) == sorted(one.query(vec))
+
+
+class TestMultiProbe:
+    def test_query_matches_query_batch(self, rng):
+        index = AdaptiveLSH(dim=12, rng=rng, base_bits=5, max_bucket_size=6,
+                            multi_probe=2)
+        vectors = _unit_rows(rng, 80, 12)
+        index.insert_many(vectors)
+        queries = np.vstack([vectors[:10], _unit_rows(rng, 10, 12)])
+        batched = index.query_batch(queries)
+        singles = [index.query(q) for q in queries]
+        assert batched == singles
+
+    def test_multi_probe_supersets_single_probe(self, rng):
+        vectors = _unit_rows(rng, 100, 10)
+        plain = AdaptiveLSH(dim=10, rng=np.random.default_rng(1), base_bits=5,
+                            max_bucket_size=8)
+        multi = AdaptiveLSH(dim=10, rng=np.random.default_rng(1), base_bits=5,
+                            max_bucket_size=8, multi_probe=2)
+        plain.insert_many(vectors)
+        multi.insert_many(vectors)
+        for query in _unit_rows(rng, 20, 10):
+            assert set(plain.query(query)) <= set(multi.query(query))
+
+    def test_multi_probe_improves_recall(self, rng):
+        """Flipping low-margin bits recovers near neighbours that the
+        single bucket misses."""
+        base = _unit_rows(rng, 200, 16)
+        plain = AdaptiveLSH(dim=16, rng=np.random.default_rng(2), base_bits=6,
+                            max_bucket_size=8)
+        multi = AdaptiveLSH(dim=16, rng=np.random.default_rng(2), base_bits=6,
+                            max_bucket_size=8, multi_probe=3)
+        plain.insert_many(base)
+        multi.insert_many(base)
+        queries = base + 0.15 * rng.standard_normal(base.shape)
+        hits_plain = sum(i in plain.query(q) for i, q in enumerate(queries))
+        hits_multi = sum(i in multi.query(q) for i, q in enumerate(queries))
+        assert hits_multi > hits_plain
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            AdaptiveLSH(dim=8, rng=rng, base_bits=4, multi_probe=5)
+        with pytest.raises(ValueError):
+            AdaptiveLSH(dim=8, rng=rng, multi_probe=-1)
+
+
+class TestShortlist:
+    def test_union_of_query_batch(self, rng):
+        index = AdaptiveLSH(dim=10, rng=rng, base_bits=4, max_bucket_size=6,
+                            multi_probe=2)
+        vectors = _unit_rows(rng, 60, 10)
+        index.insert_many(vectors)
+        queries = _unit_rows(rng, 15, 10)
+        shortlist = index.shortlist(queries)
+        expected = sorted({i for b in index.query_batch(queries) for i in b})
+        assert list(shortlist) == expected
+
+    def test_empty_inputs(self, rng):
+        index = AdaptiveLSH(dim=6, rng=rng)
+        assert index.shortlist(np.zeros((0, 6))).size == 0
+
+    def test_centering_separates_offset_clusters(self, rng):
+        """With a large common component, origin-anchored planes lump
+        everything into one bucket; centred planes split the structure."""
+        common = 8.0 * _unit_rows(rng, 1, 12)[0]
+        cluster = common + 0.4 * rng.standard_normal((120, 12))
+        plain = AdaptiveLSH(dim=12, rng=np.random.default_rng(4), base_bits=5,
+                            max_bits=5, max_bucket_size=4)
+        centred = AdaptiveLSH(dim=12, rng=np.random.default_rng(4), base_bits=5,
+                              max_bits=5, max_bucket_size=4,
+                              center=cluster.mean(axis=0))
+        plain.insert_many(cluster)
+        centred.insert_many(cluster)
+        assert centred.num_buckets > plain.num_buckets
+
+
 class TestQueryBatch:
     def test_matches_per_vector_query(self, rng):
         index = AdaptiveLSH(dim=12, rng=rng, base_bits=4, max_bucket_size=6)

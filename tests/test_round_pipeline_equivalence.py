@@ -1,5 +1,11 @@
 """Round-report equivalence: vectorized round pipeline vs scalar reference.
 
+Runs in the float64 exact mode (``lookup_dtype="float64"``, pruning
+off): the scalar reference probes through BLAS gemv and the vectorized
+round through gemm, which round differently in float32 — single
+precision is the serving default, double precision the equivalence
+contract.
+
 The end-to-end vectorized round (block frame generation, batched sample
 draw, SoA inference, grouped Eq. 3 collection, one-pass Eq. 4 merge) must
 be a pure performance optimization.  Given the *same* pre-drawn
@@ -22,7 +28,7 @@ from repro.data.stream import StreamGenerator
 
 
 def _build_client(tiny_model, seed, frames=120, theta=0.05):
-    config = CoCaConfig(frames_per_round=frames, theta=theta)
+    config = CoCaConfig(frames_per_round=frames, theta=theta, lookup_dtype="float64")
     stream = StreamGenerator(
         class_distribution=np.full(
             tiny_model.num_classes, 1.0 / tiny_model.num_classes
@@ -43,7 +49,7 @@ def _build_client(tiny_model, seed, frames=120, theta=0.05):
 def _all_layer_cache(tiny_model, theta=0.05):
     from repro.core.cache import SemanticCache
 
-    cache = SemanticCache(tiny_model.num_classes, theta=theta)
+    cache = SemanticCache(tiny_model.num_classes, theta=theta, dtype=np.float64)
     for layer in range(tiny_model.num_cache_layers):
         cache.set_layer_entries(
             layer,
@@ -106,7 +112,12 @@ class TestClientRoundEquivalence:
     def test_low_gamma_collects_everything_identically(self, tiny_model):
         """Force heavy collection (Gamma=Delta=0) so the grouped Eq. 3
         fold exercises long per-key chains."""
-        config = CoCaConfig(frames_per_round=100, collect_gamma=0.0, collect_delta=0.0)
+        config = CoCaConfig(
+            frames_per_round=100,
+            collect_gamma=0.0,
+            collect_delta=0.0,
+            lookup_dtype="float64",
+        )
         clients = []
         for _ in range(2):
             stream = StreamGenerator(
@@ -256,7 +267,7 @@ class TestEndToEndEquivalence:
         """Two identical deployments: one runs the vectorized pipeline,
         one the scalar reference, both on the same pre-drawn batches —
         the merged global tables must coincide."""
-        config = CoCaConfig(frames_per_round=80, theta=0.05)
+        config = CoCaConfig(frames_per_round=80, theta=0.05, lookup_dtype="float64")
         servers = [CoCaServer(tiny_model, config) for _ in range(2)]
         for server in servers:
             server.initialize_from_shared_dataset(

@@ -29,6 +29,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.baselines.base import BaselineRunner
+from repro.core.rng import derive_rng
 from repro.experiments.scenario import Scenario
 from repro.lsh.alsh import AdaptiveLSH
 from repro.lsh.hknn import KnnVote, homogenized_knn
@@ -150,7 +151,7 @@ class FoggyCache(BaselineRunner):
         self.insert_confidence = float(insert_confidence)
         self.min_similarity = float(min_similarity)
         dim = model.feature_space.config.dim
-        lsh_rng = np.random.default_rng(scenario.seed + 31_337)
+        lsh_rng = derive_rng(scenario.seed, "foggycache.lsh")
         self._local = [
             LshLruCache(local_capacity, dim, lsh_rng)
             for _ in range(scenario.num_clients)

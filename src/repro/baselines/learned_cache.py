@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import BaselineRunner
+from repro.core.rng import derive_rng
 from repro.experiments.scenario import Scenario
 from repro.models.feature import SampleFeatures
 from repro.sim.metrics import InferenceRecord
@@ -80,7 +81,7 @@ class LearnedCache(BaselineRunner):
             (scenario.num_clients, model.num_classes), 1.0 / model.num_classes
         )
         self._round_counts = np.zeros_like(self._recent_freq)
-        self._noise_rng = np.random.default_rng(scenario.seed + 77_001)
+        self._noise_rng = derive_rng(scenario.seed, "learnedcache.noise")
 
     def _head_prediction(
         self, client_id: int, layer: int, sample: SampleFeatures

@@ -24,6 +24,7 @@ import numpy as np
 from repro.baselines.base import BaselineRunner
 from repro.core.cache import SemanticCache
 from repro.core.engine import CachedInferenceEngine
+from repro.core.rng import derive_rng
 from repro.experiments.scenario import Scenario
 from repro.models.feature import SampleFeatures
 from repro.sim.metrics import InferenceRecord
@@ -74,7 +75,7 @@ class ReplacementPolicyCache(BaselineRunner):
         self.theta = float(theta)
         self.alpha = float(alpha)
         self._centroids = {j: model.ideal_centroids(j) for j in self.active_layers}
-        self._rand_rng = np.random.default_rng(scenario.seed + 404)
+        self._rand_rng = derive_rng(scenario.seed, "replacement.evict")
 
         # Per-client residency: class id -> insertion order (OrderedDict
         # gives both FIFO order and, via move_to_end, LRU order).

@@ -11,6 +11,7 @@ Usage::
     python -m repro cluster --shards 4 --clients 64 --sync-interval 1 \
         --policy region --rounds 2
     python -m repro profile-round --clients 4 --rounds 2
+    python -m repro lint src --json
 
 All runs are fully offline and deterministic for a given ``--seed``.
 """
@@ -269,6 +270,78 @@ def cmd_profile_round(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repo-aware static invariant checker (see repro.lint)."""
+    from pathlib import Path
+
+    from repro.lint import (
+        lint_paths,
+        load_all_rules,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.lint.baseline import Baseline
+    from repro.lint.runner import find_repo_root
+
+    if args.list_rules:
+        for rule in load_all_rules().values():
+            print(f"{rule.id:28s} {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    root = find_repo_root(paths[0])
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / "lint_baseline.json"
+    )
+    baseline = (
+        Baseline.empty() if args.no_baseline else load_baseline(baseline_path)
+    )
+    rule_ids = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    report = lint_paths(paths, baseline=baseline, rule_ids=rule_ids, root=root)
+
+    if args.update_baseline:
+        write_baseline(baseline_path, report.all_unsuppressed)
+        print(
+            f"baseline updated: {len(report.all_unsuppressed)} finding(s) "
+            f"written to {baseline_path}"
+        )
+        return 0
+
+    if args.json:
+        print(json.dumps(
+            {
+                "files_scanned": report.files_scanned,
+                "new": [f.as_dict() for f in report.new],
+                "baselined": [f.as_dict() for f in report.baselined],
+                "suppressed": len(report.suppressed),
+                "ok": report.ok,
+            },
+            indent=2,
+        ))
+        return 0 if report.ok else 1
+
+    for finding in report.new:
+        print(finding.format())
+    summary = (
+        f"{report.files_scanned} file(s) scanned: "
+        f"{len(report.new)} new, {len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    if report.ok:
+        print(f"repro lint: clean ({summary})")
+        return 0
+    print(f"repro lint: FAILED ({summary})", file=sys.stderr)
+    return 1
+
+
 def cmd_sweep_theta(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
     thetas = [float(t) for t in args.thetas.split(",") if t.strip()]
@@ -356,6 +429,27 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of a table")
     profile.set_defaults(func=cmd_profile_round)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-aware static invariant checker"
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to scan (default: src)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file (default: <root>/lint_baseline.json)")
+    lint.add_argument("--no-baseline", dest="no_baseline",
+                      action="store_true",
+                      help="ignore the baseline: report all findings as new")
+    lint.add_argument("--update-baseline", dest="update_baseline",
+                      action="store_true",
+                      help="rewrite the baseline from current findings")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--list-rules", dest="list_rules", action="store_true",
+                      help="list registered rules and exit")
+    lint.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON instead of text")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

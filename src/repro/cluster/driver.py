@@ -37,6 +37,7 @@ import numpy as np
 from repro.cluster.coordinator import ClusterCoordinator, assign_clients
 from repro.cluster.node import EdgeServerNode
 from repro.cluster.sharding import ClassShardRouter, ShardedGlobalCache
+from repro.core.server import GlobalCacheTable
 from repro.core.client import CoCaClient, RoundReport
 from repro.core.config import CoCaConfig
 from repro.core.framework import CoCaFramework
@@ -321,6 +322,6 @@ class ClusterFramework:
             reports=all_reports,
         )
 
-    def merged_table(self):
+    def merged_table(self) -> GlobalCacheTable:
         """The cluster's equivalent single-server global table."""
         return self.sharded.merged_table()

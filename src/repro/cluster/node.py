@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.cache import LookupWorkspace, SemanticCache
+from repro.core.client import ClientStatus
 from repro.core.server import CoCaServer
 from repro.sim.clock import VirtualClock
 from repro.sim.network import ServerLoadModel
@@ -179,7 +180,7 @@ class EdgeServerNode:
     # Allocation service (replica reads)
     # ------------------------------------------------------------------
 
-    def allocate(self, status) -> SemanticCache:
+    def allocate(self, status: ClientStatus) -> SemanticCache:
         """Run ACA on the replica table for one client status upload."""
         cache, _ = self.server.allocate(
             status.timestamps,
@@ -189,7 +190,7 @@ class EdgeServerNode:
         )
         return cache
 
-    def build_cache(self, layer_classes) -> SemanticCache:
+    def build_cache(self, layer_classes: dict[int, np.ndarray]) -> SemanticCache:
         """Materialize a static allocation from the replica table."""
         return self.server.build_cache(layer_classes)
 

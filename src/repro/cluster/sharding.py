@@ -55,7 +55,7 @@ class ClassShardRouter:
         assignment[permutation] = np.arange(num_classes) % num_shards
         self._assignment = assignment
 
-    def shard_of(self, class_ids) -> np.ndarray | int:
+    def shard_of(self, class_ids: int | np.ndarray) -> np.ndarray | int:
         """Owning shard per class id (vectorized; scalar in, scalar out)."""
         ids = np.asarray(class_ids, dtype=np.int64)
         if np.any(ids < 0) or np.any(ids >= self.num_classes):

@@ -1,0 +1,205 @@
+"""Debug-gated runtime contracts for invariants static analysis can't see.
+
+``repro lint`` proves *syntactic* discipline (no stray allocations, no
+implicit dtypes); this module asserts the *semantic* invariants those
+conventions exist to protect, at the moments they can actually break:
+
+* cache layer storage after :meth:`SemanticCache.set_layer_entries` —
+  C-contiguous, cache-dtype, unit-norm rows, unique in-range class ids;
+* the Eq. 4 merge's flat ``(class, layer)`` indices — in bounds and
+  unique — and post-merge row normalization;
+* :class:`VirtualClock` monotonicity (virtual time never runs backwards,
+  not even by float error);
+* workspace buffer aliasing — the views a probe kernel writes through
+  ``out=`` must be pairwise disjoint, or results are silently corrupted.
+
+Contracts are **off by default** (every check site is one truthy test of
+:data:`ENABLED`).  Set ``REPRO_CONTRACTS=1`` in the environment before
+interpreter start — CI runs the tier-1 suite that way — or toggle
+programmatically with :func:`set_enabled` (tests use the
+:func:`activated` context manager).  A violated contract raises
+:class:`ContractViolation`, an ``AssertionError`` subclass, so contract
+failures are loud in pytest and clearly not user errors.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "ContractViolation",
+    "ENABLED",
+    "activated",
+    "check_clock_monotonic",
+    "check_distinct_views",
+    "check_layer_entries",
+    "check_merge_flat_indices",
+    "check_merged_rows_normalized",
+    "enabled",
+    "require",
+    "set_enabled",
+]
+
+
+class ContractViolation(AssertionError):
+    """A runtime invariant the codebase promises was broken."""
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_CONTRACTS", "") not in ("", "0")
+
+
+#: Module-level gate read by every call site; repointed by set_enabled().
+ENABLED: bool = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether contract checks currently run."""
+    return ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Set the gate programmatically; returns the previous value."""
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(flag)
+    return previous
+
+
+@contextmanager
+def activated(flag: bool = True) -> Iterator[None]:
+    """Temporarily force contracts on (or off) — the test-suite hook."""
+    previous = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ContractViolation` unless ``condition`` holds."""
+    if not condition:
+        raise ContractViolation(message)
+
+
+# ----------------------------------------------------------------------
+# Cache table contracts
+# ----------------------------------------------------------------------
+
+#: Unit-norm slack: float32 storage carries ~1e-7 relative rounding per
+#: element; 1e-4 on the norm is orders of magnitude above that while
+#: still catching any genuinely unnormalized row.
+_NORM_ATOL = 1e-4
+
+
+def check_layer_entries(
+    layer: int,
+    ids: np.ndarray,
+    stored: np.ndarray,
+    expected_dtype: np.dtype,
+    num_classes: int,
+) -> None:
+    """Invariants of one installed cache layer's storage."""
+    require(
+        ids.ndim == 1 and stored.ndim == 2,
+        f"layer {layer}: ids must be 1-D and centroids 2-D, got "
+        f"{ids.shape} / {stored.shape}",
+    )
+    require(
+        ids.shape[0] == stored.shape[0],
+        f"layer {layer}: {ids.shape[0]} ids vs {stored.shape[0]} centroid rows",
+    )
+    require(
+        stored.dtype == expected_dtype,
+        f"layer {layer}: centroids stored as {stored.dtype}, cache dtype "
+        f"is {expected_dtype} (implicit upcast destroys dtype parity)",
+    )
+    require(
+        stored.flags.c_contiguous,
+        f"layer {layer}: centroid matrix is not C-contiguous (the probe "
+        "kernel's flat-index paths assume row-major storage)",
+    )
+    require(
+        np.unique(ids).size == ids.size,
+        f"layer {layer}: duplicate class ids",
+    )
+    if ids.size:
+        require(
+            bool((ids >= 0).all() and (ids < num_classes).all()),
+            f"layer {layer}: class id out of [0, {num_classes})",
+        )
+        norms = np.linalg.norm(stored.astype(np.float64, copy=False), axis=1)
+        worst = float(np.abs(norms - 1.0).max())
+        require(
+            worst <= _NORM_ATOL,
+            f"layer {layer}: centroid row norm off unit by {worst:.2e} "
+            f"(> {_NORM_ATOL:.0e})",
+        )
+
+
+# ----------------------------------------------------------------------
+# Eq. 4 merge contracts
+# ----------------------------------------------------------------------
+
+def check_merge_flat_indices(flat: np.ndarray, num_slots: int) -> None:
+    """Flat ``(class, layer)`` scatter indices: in bounds and unique."""
+    if flat.size == 0:
+        return
+    require(
+        bool((flat >= 0).all() and (flat < num_slots).all()),
+        f"merge flat index out of [0, {num_slots})",
+    )
+    require(
+        np.unique(flat).size == flat.size,
+        "duplicate flat (class, layer) keys reached the merge scatter",
+    )
+
+
+def check_merged_rows_normalized(
+    entries_flat: np.ndarray, rows: np.ndarray
+) -> None:
+    """Rows touched by an Eq. 4 merge must come out unit-norm."""
+    if rows.size == 0:
+        return
+    norms = np.linalg.norm(entries_flat[rows], axis=1)
+    worst = float(np.abs(norms - 1.0).max())
+    require(
+        worst <= _NORM_ATOL,
+        f"merged table row norm off unit by {worst:.2e} (> {_NORM_ATOL:.0e})",
+    )
+
+
+# ----------------------------------------------------------------------
+# Clock and workspace contracts
+# ----------------------------------------------------------------------
+
+def check_clock_monotonic(previous_ms: float, now_ms: float) -> None:
+    """Virtual time may never decrease."""
+    require(
+        now_ms >= previous_ms,
+        f"virtual clock ran backwards: {previous_ms} -> {now_ms}",
+    )
+
+
+def check_distinct_views(**views: np.ndarray) -> None:
+    """Named workspace views must be pairwise non-overlapping.
+
+    Two pool views sharing memory means one ``out=`` write corrupts
+    another buffer mid-kernel — the exact failure mode the named-pool
+    convention exists to prevent.
+    """
+    items = list(views.items())
+    for i in range(len(items)):
+        name_a, a = items[i]
+        for name_b, b in items[i + 1:]:
+            if a.size == 0 or b.size == 0:
+                continue
+            require(
+                not np.shares_memory(a, b),
+                f"workspace views {name_a!r} and {name_b!r} alias the "
+                "same pool memory",
+            )

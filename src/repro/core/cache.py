@@ -64,10 +64,13 @@ Serving-path performance rests on three policies layered on top:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import Callable, NamedTuple
 
 import numpy as np
+from numpy.typing import DTypeLike
 
+from repro import contracts
+from repro.core.rng import derive_rng
 from repro.lsh.alsh import AdaptiveLSH
 
 _EPS = 1e-9
@@ -76,7 +79,9 @@ _EPS = 1e-9
 SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
-def discriminative_score(a_best, a_second):
+def discriminative_score(
+    a_best: float | np.ndarray, a_second: float | np.ndarray
+) -> float | np.ndarray:
     """Eq. 2 score ``(A[a] - A[b]) / A[b]`` with a safe denominator.
 
     When the runner-up accumulated similarity ``A[b]`` is non-positive
@@ -131,7 +136,9 @@ class LookupWorkspace:
             self._pools[key] = buf
         return buf
 
-    def floats(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    def floats(
+        self, name: str, shape: tuple[int, ...], dtype: DTypeLike
+    ) -> np.ndarray:
         """A C-contiguous float view of ``shape`` from the named pool."""
         size = int(np.prod(shape, dtype=np.int64)) if shape else 1
         return self._pool(name, np.dtype(dtype), size)[:size].reshape(shape)
@@ -168,6 +175,14 @@ class LookupWorkspace:
         second_idx = self.ints("top2.second_idx", (n,))
         best = self.floats("top2.best", (n,), matrix.dtype)
         second = self.floats("top2.second", (n,), matrix.dtype)
+        if contracts.ENABLED:
+            contracts.check_distinct_views(
+                matrix=matrix,
+                best_idx=best_idx,
+                second_idx=second_idx,
+                best=best,
+                second=second,
+            )
         np.argmax(matrix, axis=1, out=best_idx)
         if matrix.flags.c_contiguous:
             flat = self.ints("top2.flat", (n,))
@@ -251,7 +266,7 @@ class SemanticCache:
         num_classes: int,
         alpha: float = 0.5,
         theta: float = 0.05,
-        dtype=np.float32,
+        dtype: DTypeLike = np.float32,
         prune_threshold: int | None = None,
         prune_seed: int = 0,
     ) -> None:
@@ -329,6 +344,10 @@ class SemanticCache:
             raise ValueError("cannot cache a zero centroid")
         stored = np.ascontiguousarray(mat / norms, dtype=self.dtype)
         self._layers[layer] = (ids.copy(), stored)
+        if contracts.ENABLED:
+            contracts.check_layer_entries(
+                layer, ids, stored, self.dtype, self.num_classes
+            )
         self._refresh_index(layer, ids, stored)
 
     def _refresh_index(
@@ -343,7 +362,7 @@ class SemanticCache:
         if index is None or index.dim != stored.shape[1]:
             index = AdaptiveLSH(
                 dim=stored.shape[1],
-                rng=np.random.default_rng(self.prune_seed + 7919 * layer),
+                rng=derive_rng(self.prune_seed, "cache.prune-lsh", index=layer),
                 base_bits=7,
                 max_bits=18,
                 # Bucket capacity is clamped to [16, 64]: beyond the
@@ -409,7 +428,7 @@ class SemanticCache:
             return set()
         return set(int(i) for i in self._layers[layer][0])
 
-    def size_bytes(self, entry_size_of_layer) -> int:
+    def size_bytes(self, entry_size_of_layer: Callable[[int], int]) -> int:
         """Total memory under a per-layer entry-size function (Eq. 6)."""
         return sum(
             ids.size * int(entry_size_of_layer(layer))
@@ -806,8 +825,12 @@ class BatchedLookupSession:
         dtype = cache.dtype
 
         sim = ws.floats("probe.sim", (n, e), dtype)
+        if contracts.ENABLED:
+            contracts.check_distinct_views(sim=sim, vecs=vecs, mat=mat)
         np.matmul(vecs, mat.T, out=sim)
         upd = self._fold(sim, ids, rows)
+        if contracts.ENABLED:
+            contracts.check_distinct_views(sim=sim, upd=upd)
 
         best_idx, second_idx, a_best, a_second = ws.top2(upd)
         score = ws.floats("probe.score", (n,), dtype)

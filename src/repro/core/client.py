@@ -34,7 +34,7 @@ identical reports (see ``tests/test_round_pipeline_equivalence.py``).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -48,7 +48,7 @@ from repro.core.engine import (
 )
 from repro.data.stream import StreamGenerator
 from repro.models.base import SimulatedModel
-from repro.models.feature import SampleBatch
+from repro.models.feature import SampleBatch, SampleFeatures
 from repro.sim.metrics import InferenceRecord
 
 
@@ -457,7 +457,7 @@ class CoCaClient:
 
     def _maybe_collect(
         self,
-        sample,
+        sample: SampleFeatures,
         outcome: InferenceOutcome,
         update_entries: dict[tuple[int, int], np.ndarray],
         report: RoundReport,
@@ -485,7 +485,7 @@ class CoCaClient:
 
     def _absorb(
         self,
-        sample,
+        sample: SampleFeatures,
         class_id: int,
         layers: list[int],
         update_entries: dict[tuple[int, int], np.ndarray],

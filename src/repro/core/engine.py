@@ -154,6 +154,14 @@ class BatchOutcomes(NamedTuple):
     that post-process outcomes with vectorized arithmetic (the round
     pipeline): no per-sample objects, no per-layer probe records.
 
+    Ownership: arrays returned by
+    :meth:`BatchedInferenceEngine.infer_batch_soa` are views into the
+    engine's :class:`~repro.core.cache.LookupWorkspace` pools — valid
+    until the next ``infer_batch``/``infer_batch_soa`` call on any
+    engine sharing that workspace.  The round pipeline consumes each
+    batch's outcomes before the next inference call by construction;
+    ``.copy()`` individual arrays to retain them longer.
+
     Attributes:
         predicted_class: ``(B,)`` int — class returned per sample.
         hit_layer: ``(B,)`` int — cache layer that hit, ``-1`` on full
@@ -251,7 +259,7 @@ class BatchedInferenceEngine:
         if vectors.dtype == cache.dtype:
             probe_vectors = vectors
         else:
-            probe_vectors = vectors.astype(cache.dtype)
+            probe_vectors = vectors.astype(cache.dtype, copy=False)
         pruned_layers = cache.pruned_layers()
         if pruned_layers:
             deepest = pruned_layers[-1]
@@ -259,8 +267,9 @@ class BatchedInferenceEngine:
         dim = probe_vectors.shape[-1]
         outcomes: list[InferenceOutcome | None] = [None] * batch
         probes: list[list[LayerProbe]] = [[] for _ in range(batch)]
-        lookup_ms = np.zeros(batch)
-        alive = np.arange(batch)
+        lookup_ms = self.workspace.floats("engine.lookup_ms", (batch,), np.float64)
+        lookup_ms.fill(0.0)
+        alive = self.workspace.arange(batch)
         for layer in cache.active_layers:
             lookup_ms[alive] += profile.lookup_cost_ms(cache.num_entries(layer))
             gathered = self.workspace.floats(
@@ -334,11 +343,20 @@ class BatchedInferenceEngine:
         profile = self.model.profile
         cache = self.cache
         batch = len(samples)
-        predicted = np.zeros(batch, dtype=int)
-        hit_layer = np.full(batch, -1, dtype=int)
-        latency = np.zeros(batch)
-        hit_score = np.full(batch, np.nan)
-        top2_gap = np.full(batch, np.nan)
+        # Outcome arrays live in the engine workspace pools (explicit
+        # dtypes, no per-call float64 allocations); see the BatchOutcomes
+        # docstring for the resulting view lifetime.
+        ws = self.workspace
+        predicted = ws.ints("engine.predicted", (batch,))
+        hit_layer = ws.ints("engine.hit_layer", (batch,))
+        latency = ws.floats("engine.latency", (batch,), np.float64)
+        hit_score = ws.floats("engine.hit_score", (batch,), np.float64)
+        top2_gap = ws.floats("engine.top2_gap", (batch,), np.float64)
+        predicted.fill(0)
+        hit_layer.fill(-1)
+        latency.fill(0.0)
+        hit_score.fill(np.nan)
+        top2_gap.fill(np.nan)
         if batch == 0:
             return BatchOutcomes(predicted, hit_layer, latency, hit_score, top2_gap)
         vectors = _batch_vectors(samples)  # (B, L+1, d)
@@ -362,14 +380,15 @@ class BatchedInferenceEngine:
         if vectors.dtype == cache.dtype:
             probe_vectors = vectors
         else:
-            probe_vectors = vectors.astype(cache.dtype)
+            probe_vectors = vectors.astype(cache.dtype, copy=False)
         pruned_layers = cache.pruned_layers()
         if pruned_layers:
             deepest = pruned_layers[-1]
             session.prime_shortlist(deepest, probe_vectors[:, deepest, :])
         dim = probe_vectors.shape[-1]
-        lookup_ms = np.zeros(batch)
-        alive = np.arange(batch)
+        lookup_ms = workspace.floats("engine.lookup_ms", (batch,), np.float64)
+        lookup_ms.fill(0.0)
+        alive = workspace.arange(batch)
         for layer in cache.active_layers:
             lookup_ms[alive] += profile.lookup_cost_ms(cache.num_entries(layer))
             gathered = workspace.floats("engine.take", (alive.size, dim), cache.dtype)

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.allocation import AllocationResult, aca_allocate
+from repro.core.allocation import AllocationResult
 from repro.core.cache import LookupWorkspace
 from repro.core.client import CoCaClient, RoundReport
 from repro.core.config import CoCaConfig

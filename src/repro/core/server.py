@@ -27,8 +27,11 @@ objects anywhere on the server.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
+from repro import contracts
 from repro.core.allocation import AllocationResult, aca_allocate
 from repro.core.cache import LookupWorkspace, SemanticCache
 from repro.core.config import CoCaConfig
@@ -157,6 +160,10 @@ class GlobalCacheTable:
         flat, ids, new, freqs = flat[active], ids[active], new[active], freqs[active]
         if ids.size == 0:
             return
+        if contracts.ENABLED:
+            contracts.check_merge_flat_indices(
+                flat, self.num_classes * self.num_layers
+            )
         entries_flat = self.entries.reshape(-1, self.dim)
         filled_flat = self.filled.reshape(-1)
         norms = np.sqrt(np.einsum("kd,kd->k", new, new))
@@ -180,6 +187,10 @@ class GlobalCacheTable:
             merged_norms = np.sqrt(np.einsum("kd,kd->k", merged, merged))
             ok = merged_norms >= _EPS
             entries_flat[rows[ok]] = merged[ok] / merged_norms[ok, None]
+
+        if contracts.ENABLED:
+            touched = flat[filled_flat[flat]]
+            contracts.check_merged_rows_normalized(entries_flat, touched)
 
     def add_frequencies(self, local_freq: np.ndarray) -> None:
         """Eq. 5: accumulate a client's round frequencies into Phi."""
@@ -584,7 +595,7 @@ class CoCaServer:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save_table(self, path) -> None:
+    def save_table(self, path: str | Path) -> None:
         """Persist the global cache table (entries, fill mask, Phi) to
         ``path`` as a compressed npz archive.
 
@@ -602,7 +613,7 @@ class CoCaServer:
             reference_similarity_floor=self.reference_similarity_floor,
         )
 
-    def load_table(self, path) -> None:
+    def load_table(self, path: str | Path) -> None:
         """Restore a global cache table saved by :meth:`save_table`.
 
         Every array is validated against this server's model geometry

@@ -16,6 +16,7 @@ import numpy as np
 from repro.analysis import centroid_alignment, cosine_silhouette, tsne_embed
 from repro.baselines import CoCaRunner
 from repro.core.config import CoCaConfig
+from repro.core.rng import derive_rng
 from repro.data.stream import Frame
 from repro.experiments.scenario import Scenario
 from repro.experiments.slo import fresh_scenario
@@ -83,7 +84,7 @@ def run_global_update_study(
     classes = list(range(min(num_classes_shown, model.num_classes)))
 
     # Draw equal per-class samples from the probe client's distribution.
-    rng = np.random.default_rng(scenario.seed + 9_901)
+    rng = derive_rng(scenario.seed, "experiments.global-updates-probe")
     sample_vectors = []
     sample_labels = []
     for row, class_id in enumerate(classes):

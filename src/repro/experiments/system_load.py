@@ -11,7 +11,7 @@ latency as the number of connected clients grows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.baselines import CoCaRunner
 from repro.core.config import CoCaConfig

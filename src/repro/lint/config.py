@@ -1,0 +1,127 @@
+"""Per-path lint configuration.
+
+The defaults below encode this repository's conventions — which modules
+are probe hot paths, which functions are registered workspace kernels,
+which directories must never touch the wall clock.  A project can
+override any field from ``pyproject.toml`` under ``[tool.repro-lint]``
+(dashes or underscores both accepted), which is how the fixture tests
+retarget the rules at synthetic files.
+
+All path entries are posix-style and matched as *suffixes* of the
+scanned file's normalized path, so the linter behaves identically from
+the repo root, from ``src/``, or from an absolute invocation.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+
+
+def _norm(path: str) -> str:
+    return path.replace("\\", "/").strip("/")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Repo-aware knobs consumed by the rules.
+
+    Attributes:
+        hot_path_modules: files under the ``dtype-discipline`` rule
+            (allocations need explicit dtypes, ``astype`` needs
+            ``copy=False``).
+        kernel_functions: ``path.py::Qual.name`` entries registered as
+            zero-allocation workspace kernels; a ``# repro-lint: kernel``
+            marker comment on the ``def`` line registers one inline.
+        wallclock_dirs: directories whose modules may not read host time
+            (the virtual-time contract).
+        wallclock_exempt: files inside ``wallclock_dirs`` that are the
+            designated timing-hook escape hatch.
+        tests_dirs: where the ``reference-parity`` rule looks for the
+            equivalence tests naming each ``*_reference`` pair.
+        reference_suffix: suffix marking scalar reference functions.
+    """
+
+    hot_path_modules: tuple[str, ...] = (
+        "repro/core/engine.py",
+        "repro/core/cache.py",
+        "repro/cluster/node.py",
+        "repro/lsh/alsh.py",
+    )
+    kernel_functions: tuple[str, ...] = (
+        "repro/core/cache.py::LookupWorkspace.top2",
+        "repro/core/cache.py::LookupWorkspace.scores_into",
+        "repro/core/cache.py::BatchedLookupSession._probe_dense",
+        "repro/core/cache.py::BatchedLookupSession._probe_pruned",
+    )
+    wallclock_dirs: tuple[str, ...] = (
+        "repro/sim",
+        "repro/cluster",
+    )
+    wallclock_exempt: tuple[str, ...] = (
+        "repro/sim/timing.py",
+    )
+    tests_dirs: tuple[str, ...] = ("tests",)
+    reference_suffix: str = "_reference"
+
+    # ------------------------------------------------------------------
+    # Path matching
+    # ------------------------------------------------------------------
+
+    def is_hot_path(self, rel_path: str) -> bool:
+        rel = _norm(rel_path)
+        return any(rel.endswith(_norm(m)) for m in self.hot_path_modules)
+
+    def is_wallclock_banned(self, rel_path: str) -> bool:
+        rel = _norm(rel_path)
+        if any(rel.endswith(_norm(e)) for e in self.wallclock_exempt):
+            return False
+        padded = "/" + rel
+        return any("/" + _norm(d) + "/" in padded for d in self.wallclock_dirs)
+
+    def kernel_qualnames(self, rel_path: str) -> set[str]:
+        """Registered kernel qualnames applying to one file."""
+        rel = _norm(rel_path)
+        out: set[str] = set()
+        for entry in self.kernel_functions:
+            path_part, sep, qual = entry.partition("::")
+            if sep and qual and rel.endswith(_norm(path_part)):
+                out.add(qual)
+        return out
+
+
+def _coerce(value: object) -> object:
+    if isinstance(value, list):
+        return tuple(str(v) for v in value)
+    return value
+
+
+def load_config(start: Path | None = None) -> LintConfig:
+    """The default config, overridden by ``[tool.repro-lint]`` if a
+    ``pyproject.toml`` is found walking up from ``start`` (cwd default)."""
+    config = LintConfig()
+    here = (start or Path.cwd()).resolve()
+    if here.is_file():
+        here = here.parent
+    for directory in (here, *here.parents):
+        pyproject = directory / "pyproject.toml"
+        if pyproject.is_file():
+            try:
+                data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+            except (OSError, tomllib.TOMLDecodeError):
+                return config
+            section = data.get("tool", {}).get("repro-lint", {})
+            return apply_overrides(config, section)
+    return config
+
+
+def apply_overrides(config: LintConfig, overrides: dict[str, object]) -> LintConfig:
+    """A copy of ``config`` with recognized override keys applied."""
+    known = {f.name for f in fields(LintConfig)}
+    updates: dict[str, object] = {}
+    for key, value in overrides.items():
+        name = key.replace("-", "_")
+        if name in known:
+            updates[name] = _coerce(value)
+    return replace(config, **updates) if updates else config

@@ -1,0 +1,74 @@
+"""``dtype-discipline``: hot-path modules must be explicit about dtype.
+
+The probe kernel's 2.9x single-precision win — and the dtype-parity
+guarantee that float32 and float64 runs make identical decisions — both
+die silently the moment one hot-path array is created as an implicit
+float64 and flows into the accumulator math.  In the configured hot-path
+modules this rule therefore flags:
+
+* ``np.zeros`` / ``np.empty`` / ``np.ones`` calls without an explicit
+  ``dtype=`` keyword (numpy's default is float64), and
+* ``.astype(...)`` calls without ``copy=False`` — on the probe path a
+  cast of an already-conforming array must be a no-op view, not a fresh
+  float64-sized copy per call.  (``copy=False`` still copies when the
+  dtype genuinely differs, so it never changes values.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, iter_calls, register
+
+_CONSTRUCTORS = frozenset({"numpy.zeros", "numpy.empty", "numpy.ones"})
+
+
+def _is_false(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is False
+
+
+@register
+class DtypeDiscipline(Rule):
+    id = "dtype-discipline"
+    description = (
+        "in hot-path modules, numpy allocations need an explicit dtype= "
+        "and .astype() needs copy=False"
+    )
+    hint = (
+        "pass dtype= explicitly (the configured lookup dtype on probe "
+        "buffers); use .astype(..., copy=False) so conforming arrays "
+        "pass through uncopied"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.is_hot_path(ctx.rel_path):
+            return
+        assert ctx.imports is not None
+        for call in iter_calls(ctx.tree):
+            name = ctx.imports.resolve(call.func)
+            if name in _CONSTRUCTORS:
+                if not any(kw.arg == "dtype" for kw in call.keywords):
+                    short = name.split(".")[-1]
+                    yield ctx.finding(
+                        self,
+                        call,
+                        f"np.{short} without dtype= defaults to float64 "
+                        "on the probe hot path",
+                    )
+                continue
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "astype"
+            ):
+                copy_kw = next(
+                    (kw for kw in call.keywords if kw.arg == "copy"), None
+                )
+                if copy_kw is None or not _is_false(copy_kw.value):
+                    yield ctx.finding(
+                        self,
+                        call,
+                        ".astype(...) without copy=False copies even "
+                        "already-conforming arrays",
+                    )

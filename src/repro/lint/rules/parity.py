@@ -1,0 +1,73 @@
+"""``reference-parity``: every ``*_reference`` function stays paired.
+
+The vectorized pipeline is trusted because each stage has a scalar
+reference implementation and an equivalence test proving the two
+identical.  That safety net frays in two ways: the vectorized
+counterpart gets renamed (the reference now checks nothing), or the
+equivalence test is deleted while both functions live on.  This
+project-level rule checks, for every function named ``X_reference``
+under the scanned tree, that (a) a sibling ``X`` exists in the same
+module and (b) both names appear somewhere in the configured tests
+directories.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import (
+    ProjectContext,
+    Rule,
+    register,
+    walk_functions,
+)
+
+
+@register
+class ReferenceParity(Rule):
+    id = "reference-parity"
+    description = (
+        "every *_reference function needs a same-module vectorized "
+        "counterpart and an equivalence test naming both"
+    )
+    hint = (
+        "keep the X / X_reference pair in one module and assert their "
+        "equivalence in a test under tests/"
+    )
+    project_level = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        suffix = project.config.reference_suffix
+        for ctx in project.files:
+            functions = dict(walk_functions(ctx.tree))
+            names = {qual.split(".")[-1] for qual in functions}
+            for qualname, func in functions.items():
+                short = qualname.split(".")[-1]
+                if not short.endswith(suffix) or short == suffix:
+                    continue
+                counterpart = short[: -len(suffix)]
+                if counterpart not in names:
+                    yield ctx.finding(
+                        self,
+                        func,
+                        f"{short} has no counterpart {counterpart}() in "
+                        "this module",
+                    )
+                    continue
+                missing = [
+                    name
+                    for name in (short, counterpart)
+                    if not re.search(
+                        rf"\b{re.escape(name)}\b", project.tests_text
+                    )
+                ]
+                if missing:
+                    yield ctx.finding(
+                        self,
+                        func,
+                        f"equivalence pair {counterpart}/{short} is not "
+                        f"exercised by any test (missing: "
+                        f"{', '.join(missing)})",
+                    )

@@ -1,0 +1,71 @@
+"""``no-global-rng``: all randomness must flow through seeded Generators.
+
+The repo's determinism guarantees (bit-exact equivalence suites, seeded
+experiment reruns) hold only because every random draw comes from an
+explicitly seeded ``np.random.Generator`` threaded through the call
+graph.  One call into numpy's *global* legacy RNG — ``np.random.seed``,
+``np.random.normal`` et al. — couples unrelated components through
+hidden shared state and silently breaks reproducibility.  Constructing
+generators (``default_rng``, ``SeedSequence``, the bit-generator
+classes) is of course allowed; see :mod:`repro.core.rng` for the
+registered way to derive named seed streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, iter_calls, register
+
+_PREFIX = "numpy.random."
+
+#: numpy.random names that construct or type generators (allowed).
+_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@register
+class NoGlobalRng(Rule):
+    id = "no-global-rng"
+    description = (
+        "forbid np.random.seed and module-level np.random draws; "
+        "randomness must come from passed np.random.Generator objects"
+    )
+    hint = (
+        "accept an np.random.Generator parameter, or derive one with "
+        "repro.core.rng.derive_rng(seed, stream)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        assert ctx.imports is not None
+        for call in iter_calls(ctx.tree):
+            name = ctx.imports.resolve(call.func)
+            if name is None or not name.startswith(_PREFIX):
+                continue
+            tail = name[len(_PREFIX):]
+            head = tail.split(".")[0]
+            if head in _ALLOWED:
+                continue
+            if head == "seed":
+                message = (
+                    "np.random.seed mutates the global legacy RNG shared "
+                    "by the whole process"
+                )
+            else:
+                message = (
+                    f"module-level draw {name}() uses the hidden global "
+                    "RNG state"
+                )
+            yield ctx.finding(self, call, message)

@@ -94,7 +94,7 @@ class AdaptiveLSH:
         self.multi_probe = multi_probe
         self._planes = rng.standard_normal((max_bits, dim))
         self._bit_values = np.uint64(1) << np.arange(max_bits, dtype=np.uint64)
-        self._offsets = np.zeros(max_bits)
+        self._offsets = np.zeros(max_bits, dtype=np.float64)
         # Flip-subset table for multi-probe: row s selects which of the
         # t chosen low-margin bits subset s flips.
         t = multi_probe
@@ -107,7 +107,7 @@ class AdaptiveLSH:
         # Row storage: vectors, packed sign codes and the owning item id
         # per row (-1 = dead).  Ids stay stable through compaction via the
         # id -> row map; rows are recycled wholesale, never individually.
-        self._matrix = np.empty((0, dim))
+        self._matrix = np.empty((0, dim), dtype=np.float64)
         self._codes = np.empty(0, dtype=np.uint64)
         self._row_ids = np.empty(0, dtype=np.int64)
         self._rows = 0
@@ -194,7 +194,7 @@ class AdaptiveLSH:
     def _append_row(self, vector: np.ndarray, code: np.uint64) -> int:
         if self._rows == self._matrix.shape[0]:
             grow = max(2 * self._matrix.shape[0], _MIN_COMPACT_ROWS)
-            matrix = np.empty((grow, self.dim))
+            matrix = np.empty((grow, self.dim), dtype=np.float64)
             matrix[: self._rows] = self._matrix[: self._rows]
             self._matrix = matrix
             self._codes = np.resize(self._codes, grow)
@@ -290,7 +290,7 @@ class AdaptiveLSH:
         self._split = set()
         self._split_by_bits = {}
         if n == 0:
-            self._matrix = np.empty((0, self.dim))
+            self._matrix = np.empty((0, self.dim), dtype=np.float64)
             self._codes = np.empty(0, dtype=np.uint64)
             self._row_ids = np.empty(0, dtype=np.int64)
             self._rows = 0
@@ -404,8 +404,12 @@ class AdaptiveLSH:
         probe_codes = self._probe_codes(codes, raw - self._offsets)  # (n, P)
         flat = np.ascontiguousarray(probe_codes.reshape(-1))
         bits = self._resolve_keys(flat)
-        masked = flat & ((np.uint64(1) << bits.astype(np.uint64)) - np.uint64(1))
-        combos = (bits.astype(np.uint64) << np.uint64(self.max_bits)) | masked
+        masked = flat & (
+            (np.uint64(1) << bits.astype(np.uint64, copy=False)) - np.uint64(1)
+        )
+        combos = (
+            bits.astype(np.uint64, copy=False) << np.uint64(self.max_bits)
+        ) | masked
         return combos, probe_codes.shape[1]
 
     def query_batch(self, vectors: np.ndarray) -> list[list[int]]:

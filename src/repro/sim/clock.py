@@ -10,6 +10,10 @@ reproducible and independent of the host machine's speed.
 
 from __future__ import annotations
 
+from types import TracebackType
+
+from repro import contracts
+
 
 class VirtualClock:
     """A monotonically non-decreasing virtual clock measured in milliseconds.
@@ -38,7 +42,10 @@ class VirtualClock:
         """
         if delta_ms < 0:
             raise ValueError(f"cannot advance clock by negative {delta_ms}")
+        previous = self._now_ms
         self._now_ms += float(delta_ms)
+        if contracts.ENABLED:
+            contracts.check_clock_monotonic(previous, self._now_ms)
         return self._now_ms
 
     def advance_to(self, timestamp_ms: float) -> float:
@@ -51,7 +58,10 @@ class VirtualClock:
         past), so the clock stays monotone without the caller having to
         compute ``max`` deltas.
         """
+        previous = self._now_ms
         self._now_ms = max(self._now_ms, float(timestamp_ms))
+        if contracts.ENABLED:
+            contracts.check_clock_monotonic(previous, self._now_ms)
         return self._now_ms
 
     def elapsed_since(self, t0_ms: float) -> float:
@@ -88,6 +98,11 @@ class Stopwatch:
         self._start_ms = self._clock.now_ms
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         assert self._start_ms is not None
         self.elapsed_ms = self._clock.elapsed_since(self._start_ms)

@@ -1,0 +1,17 @@
+"""Fixture: dtype-implicit allocations and copying casts.
+
+Trips ``dtype-discipline`` three times when this file is configured as a
+hot-path module: two dtype-less constructors and one plain ``astype``.
+"""
+
+import numpy as np
+
+
+def sloppy_buffers(batch: int) -> object:
+    scores = np.zeros(batch)  # implicit float64
+    scratch = np.empty((batch, 4))  # implicit float64
+    return scores, scratch
+
+
+def sloppy_cast(vectors: np.ndarray) -> np.ndarray:
+    return vectors.astype(np.float32)  # copies even when already float32

@@ -1,0 +1,13 @@
+"""Fixture: explicit dtypes and no-op casts — ``dtype-discipline`` quiet."""
+
+import numpy as np
+
+
+def tidy_buffers(batch: int) -> object:
+    scores = np.zeros(batch, dtype=np.float32)
+    scratch = np.empty((batch, 4), dtype=np.float64)
+    return scores, scratch
+
+
+def tidy_cast(vectors: np.ndarray) -> np.ndarray:
+    return vectors.astype(np.float32, copy=False)

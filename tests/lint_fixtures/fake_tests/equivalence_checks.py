@@ -1,0 +1,14 @@
+"""Stand-in tests directory content for the ``reference-parity`` fixture.
+
+Names ``rowsum`` and ``rowsum_reference`` so the *good* parity fixture
+counts as exercised; deliberately names nothing from the bad fixture.
+"""
+
+import numpy as np
+
+from tests.lint_fixtures.parity_good import rowsum, rowsum_reference
+
+
+def check_rowsum_equivalence() -> None:
+    x = np.arange(12, dtype=np.float64).reshape(3, 4)
+    assert np.allclose(rowsum(x), rowsum_reference(x))

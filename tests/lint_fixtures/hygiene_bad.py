@@ -1,0 +1,27 @@
+"""Fixture: mutable defaults, a lying shape comment, a bare suppression.
+
+Trips ``mutable-default`` (twice), ``shape-comment-drift`` (once) and
+``suppression-justification`` (once) — and because the suppression below
+carries no justification it is NOT honoured, so the dtype finding it
+tries to hide would still be reported were this file a hot path.
+"""
+
+import numpy as np
+
+
+def accumulate(value: float, acc=[]) -> list:
+    acc.append(value)
+    return acc
+
+
+def tally(key: str, *, counts={}) -> dict:
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def make_table(n: int, d: int) -> np.ndarray:
+    return np.zeros((n, d), dtype=np.float32)  # (n, d, extra)
+
+
+def hidden_debt(batch: int) -> np.ndarray:
+    return np.zeros(batch)  # repro-lint: disable=dtype-discipline

@@ -1,0 +1,14 @@
+"""Fixture: hygiene-clean code — none of the hygiene rules fire."""
+
+import numpy as np
+
+
+def accumulate(value: float, acc: list | None = None) -> list:
+    if acc is None:
+        acc = []
+    acc.append(value)
+    return acc
+
+
+def make_table(n: int, d: int) -> np.ndarray:
+    return np.zeros((n, d), dtype=np.float32)  # (n, d)

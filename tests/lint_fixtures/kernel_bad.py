@@ -1,0 +1,16 @@
+"""Fixture: allocations inside a marked kernel trip ``zero-alloc-kernel``."""
+
+import numpy as np
+
+
+# repro-lint: kernel
+def probe_scores(vectors: np.ndarray, table: np.ndarray) -> np.ndarray:
+    sim = np.empty((vectors.shape[0], table.shape[0]))  # allocates per probe
+    np.matmul(vectors, table.T, out=sim)
+    both = np.concatenate([sim, sim], axis=1)  # no out= form exists
+    return both
+
+
+def plain_helper(n: int) -> np.ndarray:
+    # Unregistered function: allocation here is fine.
+    return np.zeros(n, dtype=np.float32)

@@ -1,0 +1,12 @@
+"""Fixture: a marked kernel writing through preallocated buffers — quiet."""
+
+import numpy as np
+
+
+# repro-lint: kernel
+def probe_scores(
+    vectors: np.ndarray, table: np.ndarray, sim: np.ndarray
+) -> np.ndarray:
+    np.matmul(vectors, table.T, out=sim)
+    np.maximum(sim, 0.0, out=sim)
+    return sim

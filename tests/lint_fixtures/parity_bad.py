@@ -1,0 +1,26 @@
+"""Fixture: an orphaned reference implementation.
+
+``lonely_reference`` has no vectorized ``lonely`` counterpart in this
+module, and ``untested_reference`` / ``untested`` exist as a pair but no
+test names them — both trip ``reference-parity``.
+"""
+
+import numpy as np
+
+
+def lonely_reference(x: np.ndarray) -> float:
+    total = 0.0
+    for value in x:
+        total += float(value)
+    return total
+
+
+def untested_reference(x: np.ndarray) -> float:
+    best = float("-inf")
+    for value in x:
+        best = max(best, float(value))
+    return best
+
+
+def untested(x: np.ndarray) -> float:
+    return float(np.max(x))

@@ -1,0 +1,20 @@
+"""Fixture: every call here must trip ``no-global-rng``.
+
+Spellings vary deliberately — the rule matches the resolved canonical
+name, not the surface syntax.
+"""
+
+import numpy
+import numpy as np
+from numpy import random as nprand
+
+
+def seed_the_world() -> None:
+    np.random.seed(0)  # global legacy RNG mutation
+
+
+def draw_some() -> object:
+    a = np.random.normal(size=4)
+    b = numpy.random.uniform(0.0, 1.0)
+    c = nprand.randint(10)
+    return a, b, c

@@ -1,0 +1,11 @@
+"""Fixture: seeded-generator randomness — ``no-global-rng`` stays quiet."""
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(seed))
+
+
+def draw_some(rng: np.random.Generator) -> object:
+    return rng.normal(size=4), rng.integers(10)

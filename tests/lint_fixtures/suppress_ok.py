@@ -1,0 +1,15 @@
+"""Fixture: a justified suppression — the violation is acknowledged.
+
+The ``np.random.shuffle`` call below is a genuine ``no-global-rng``
+violation, but the justified inline suppression moves it to the
+*suppressed* bucket instead of failing the run.
+"""
+
+import numpy as np
+
+
+def shuffled_copy(items: list) -> list:
+    out = list(items)
+    # repro-lint: disable=no-global-rng -- fixture exercising suppression
+    np.random.shuffle(out)
+    return out

@@ -1,0 +1,13 @@
+"""Fixture: host-clock reads — trips ``no-wallclock-in-sim`` when this
+directory is configured as a virtual-time dir."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def measure() -> float:
+    start = perf_counter()
+    time.sleep(0.001)
+    stamp = datetime.now()
+    return time.time() - start + stamp.microsecond

@@ -1,0 +1,16 @@
+"""Fixture: virtual-time-only code — ``no-wallclock-in-sim`` stays quiet."""
+
+
+class TinyClock:
+    def __init__(self) -> None:
+        self.now_ms = 0.0
+
+    def advance(self, delta_ms: float) -> float:
+        self.now_ms += delta_ms
+        return self.now_ms
+
+
+def measure(clock: TinyClock) -> float:
+    t0 = clock.now_ms
+    clock.advance(12.5)
+    return clock.now_ms - t0

@@ -1,0 +1,217 @@
+"""Tests for the ``REPRO_CONTRACTS``-gated runtime contract layer.
+
+Every contract function must (a) pass on legitimate state and (b) raise
+:class:`ContractViolation` on each violated invariant; the wiring tests
+confirm the production call sites actually invoke the checks when the
+gate is on and skip them when it is off.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import contracts
+from repro.contracts import ContractViolation
+from repro.core.cache import SemanticCache
+from repro.sim.clock import VirtualClock
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def unit_rows(n: int, d: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    rows = rng.standard_normal((n, d))
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+# ----------------------------------------------------------------------
+# Gate mechanics
+# ----------------------------------------------------------------------
+
+def test_violation_is_assertion_error():
+    assert issubclass(ContractViolation, AssertionError)
+
+
+def test_set_enabled_returns_previous_and_activated_restores():
+    before = contracts.enabled()
+    with contracts.activated():
+        assert contracts.enabled()
+        with contracts.activated(False):
+            assert not contracts.enabled()
+        assert contracts.enabled()
+    assert contracts.enabled() == before
+
+
+def test_env_var_controls_default_gate():
+    script = "import repro.contracts as c; print(c.ENABLED)"
+    for value, expected in (("", "False"), ("0", "False"), ("1", "True")):
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"REPRO_CONTRACTS": value,
+                 "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.stdout.strip() == expected, result.stderr
+
+
+def test_require_raises_with_message():
+    contracts.require(True, "fine")
+    with pytest.raises(ContractViolation, match="broken thing"):
+        contracts.require(False, "broken thing")
+
+
+# ----------------------------------------------------------------------
+# check_layer_entries
+# ----------------------------------------------------------------------
+
+def good_layer(n=4, d=8):
+    ids = np.arange(n)
+    stored = np.ascontiguousarray(unit_rows(n, d), dtype=np.float32)
+    return ids, stored
+
+
+def test_layer_entries_pass_on_good_state():
+    ids, stored = good_layer()
+    contracts.check_layer_entries(0, ids, stored, np.float32, 10)
+
+
+def test_layer_entries_wrong_dtype_fires():
+    ids, stored = good_layer()
+    with pytest.raises(ContractViolation, match="dtype"):
+        contracts.check_layer_entries(
+            0, ids, stored.astype(np.float64), np.float32, 10
+        )
+
+
+def test_layer_entries_non_contiguous_fires():
+    ids, stored = good_layer()
+    with pytest.raises(ContractViolation, match="C-contiguous"):
+        contracts.check_layer_entries(
+            0, ids, np.asfortranarray(stored), np.float32, 10
+        )
+
+
+def test_layer_entries_duplicate_ids_fire():
+    ids, stored = good_layer()
+    with pytest.raises(ContractViolation, match="duplicate"):
+        contracts.check_layer_entries(
+            0, np.zeros_like(ids), stored, np.float32, 10
+        )
+
+
+def test_layer_entries_out_of_range_id_fires():
+    ids, stored = good_layer()
+    with pytest.raises(ContractViolation, match="out of"):
+        contracts.check_layer_entries(0, ids + 100, stored, np.float32, 10)
+
+
+def test_layer_entries_non_unit_norm_fires():
+    ids, stored = good_layer()
+    scaled = np.ascontiguousarray(2.0 * stored)
+    with pytest.raises(ContractViolation, match="norm"):
+        contracts.check_layer_entries(0, ids, scaled, np.float32, 10)
+
+
+def test_layer_entries_row_count_mismatch_fires():
+    ids, stored = good_layer()
+    with pytest.raises(ContractViolation, match="ids vs"):
+        contracts.check_layer_entries(0, ids[:-1], stored, np.float32, 10)
+
+
+# ----------------------------------------------------------------------
+# Merge contracts
+# ----------------------------------------------------------------------
+
+def test_merge_flat_indices_pass_and_fail():
+    contracts.check_merge_flat_indices(np.array([], dtype=np.int64), 10)
+    contracts.check_merge_flat_indices(np.array([0, 3, 9]), 10)
+    with pytest.raises(ContractViolation, match="out of"):
+        contracts.check_merge_flat_indices(np.array([0, 10]), 10)
+    with pytest.raises(ContractViolation, match="duplicate"):
+        contracts.check_merge_flat_indices(np.array([2, 2]), 10)
+
+
+def test_merged_rows_normalized_pass_and_fail():
+    table = unit_rows(6, 5)
+    contracts.check_merged_rows_normalized(table, np.array([0, 3, 5]))
+    contracts.check_merged_rows_normalized(table, np.array([], dtype=int))
+    table[3] *= 1.5
+    with pytest.raises(ContractViolation, match="norm"):
+        contracts.check_merged_rows_normalized(table, np.array([3]))
+
+
+# ----------------------------------------------------------------------
+# Clock and workspace contracts
+# ----------------------------------------------------------------------
+
+def test_clock_monotonic_pass_and_fail():
+    contracts.check_clock_monotonic(1.0, 1.0)
+    contracts.check_clock_monotonic(1.0, 2.0)
+    with pytest.raises(ContractViolation, match="backwards"):
+        contracts.check_clock_monotonic(2.0, 1.0)
+
+
+def test_distinct_views_pass_and_fail():
+    pool = np.zeros(10)
+    contracts.check_distinct_views(a=pool[:5], b=pool[5:])
+    contracts.check_distinct_views(a=pool[:0], b=pool)  # empty skipped
+    with pytest.raises(ContractViolation, match="alias"):
+        contracts.check_distinct_views(a=pool[:6], b=pool[4:])
+
+
+# ----------------------------------------------------------------------
+# Call-site wiring
+# ----------------------------------------------------------------------
+
+def test_cache_calls_layer_contract_only_when_enabled(monkeypatch):
+    calls: list[tuple] = []
+    monkeypatch.setattr(
+        contracts, "check_layer_entries",
+        lambda *a, **k: calls.append(a),
+    )
+    cache = SemanticCache(num_classes=6, dtype=np.float32)
+    with contracts.activated(False):
+        cache.set_layer_entries(0, np.arange(3), unit_rows(3, 4))
+    assert calls == []
+    with contracts.activated():
+        cache.set_layer_entries(1, np.arange(3), unit_rows(3, 4))
+    assert len(calls) == 1
+
+
+def test_clock_calls_monotonic_contract_only_when_enabled(monkeypatch):
+    calls: list[tuple] = []
+    monkeypatch.setattr(
+        contracts, "check_clock_monotonic",
+        lambda *a: calls.append(a),
+    )
+    clock = VirtualClock()
+    with contracts.activated(False):
+        clock.advance(5.0)
+    assert calls == []
+    with contracts.activated():
+        clock.advance(5.0)
+        clock.advance_to(20.0)
+    assert len(calls) == 2
+
+
+def test_legitimate_cache_use_passes_under_contracts():
+    with contracts.activated():
+        cache = SemanticCache(num_classes=8, dtype=np.float32)
+        # Deliberately unnormalized input: set_layer_entries normalizes
+        # on insertion, so the stored table must satisfy the contract.
+        cache.set_layer_entries(0, np.arange(5), 3.0 * unit_rows(5, 6))
+
+
+def test_clock_use_passes_under_contracts():
+    with contracts.activated():
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance_to(10.0)
+        clock.advance_to(4.0)  # past event: no-op, still monotone
+        assert clock.now_ms == 10.0

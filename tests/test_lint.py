@@ -1,0 +1,291 @@
+"""Tests for the ``repro lint`` static invariant checker.
+
+Each rule is exercised against a positive (violating) and negative
+(clean) fixture under ``tests/lint_fixtures/``; on top of that the suite
+pins the baseline/suppression machinery, the CLI exit codes, and — the
+point of the whole exercise — that ``src/`` itself lints clean modulo
+the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    apply_overrides,
+    lint_paths,
+    load_all_rules,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.baseline import Baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+
+#: Overrides retargeting path-scoped rules at the fixture files.
+HOT_FIXTURES = LintConfig(
+    hot_path_modules=(
+        "tests/lint_fixtures/dtype_bad.py",
+        "tests/lint_fixtures/dtype_good.py",
+        "tests/lint_fixtures/hygiene_bad.py",
+    )
+)
+WALLCLOCK_FIXTURES = LintConfig(wallclock_dirs=("tests/lint_fixtures",))
+PARITY_FIXTURES = LintConfig(
+    tests_dirs=("tests/lint_fixtures/fake_tests",)
+)
+
+
+def run_fixture(
+    filename: str,
+    config: LintConfig | None = None,
+    rule_ids: list[str] | None = None,
+):
+    return lint_paths(
+        [FIXTURES / filename],
+        config=config,
+        root=REPO_ROOT,
+        rule_ids=rule_ids,
+    )
+
+
+def new_rules(report) -> list[str]:
+    return sorted(f.rule for f in report.new)
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixtures: positive fires, negative stays quiet
+# ----------------------------------------------------------------------
+
+def test_no_global_rng_fires_on_every_spelling():
+    report = run_fixture("rng_bad.py")
+    assert new_rules(report) == ["no-global-rng"] * 4
+    messages = " ".join(f.message for f in report.new)
+    assert "np.random.seed" in messages
+
+
+def test_no_global_rng_quiet_on_seeded_generators():
+    assert run_fixture("rng_good.py").new == []
+
+
+def test_dtype_discipline_fires_on_hot_path():
+    report = run_fixture("dtype_bad.py", config=HOT_FIXTURES)
+    assert new_rules(report) == ["dtype-discipline"] * 3
+
+
+def test_dtype_discipline_scoped_to_hot_path_modules():
+    # Same violating file, but not configured as a hot path: quiet.
+    assert run_fixture("dtype_bad.py").new == []
+
+
+def test_dtype_discipline_quiet_on_explicit_dtypes():
+    assert run_fixture("dtype_good.py", config=HOT_FIXTURES).new == []
+
+
+def test_zero_alloc_kernel_fires_inside_marked_kernel_only():
+    report = run_fixture("kernel_bad.py")
+    assert new_rules(report) == ["zero-alloc-kernel"] * 2
+    # The unregistered helper's np.zeros is not flagged.
+    assert all("plain_helper" not in f.message for f in report.new)
+
+
+def test_zero_alloc_kernel_quiet_on_out_parameter_kernel():
+    assert run_fixture("kernel_good.py").new == []
+
+
+def test_wallclock_fires_in_configured_dirs():
+    report = run_fixture("wallclock_bad.py", config=WALLCLOCK_FIXTURES)
+    assert new_rules(report) == ["no-wallclock-in-sim"] * 4
+
+
+def test_wallclock_quiet_outside_configured_dirs():
+    assert run_fixture("wallclock_bad.py").new == []
+
+
+def test_wallclock_exemption_is_honoured():
+    config = apply_overrides(
+        WALLCLOCK_FIXTURES,
+        {"wallclock-exempt": ["tests/lint_fixtures/wallclock_bad.py"]},
+    )
+    assert run_fixture("wallclock_bad.py", config=config).new == []
+
+
+def test_wallclock_quiet_on_virtual_time_code():
+    assert run_fixture("wallclock_good.py", config=WALLCLOCK_FIXTURES).new == []
+
+
+def test_reference_parity_fires_on_orphan_and_untested_pair():
+    report = run_fixture("parity_bad.py", config=PARITY_FIXTURES)
+    assert new_rules(report) == ["reference-parity"] * 2
+    messages = " ".join(f.message for f in report.new)
+    assert "lonely" in messages and "untested" in messages
+
+
+def test_reference_parity_quiet_on_paired_and_tested():
+    assert run_fixture("parity_good.py", config=PARITY_FIXTURES).new == []
+
+
+def test_hygiene_rules_fire():
+    report = run_fixture("hygiene_bad.py")
+    assert new_rules(report) == [
+        "mutable-default",
+        "mutable-default",
+        "shape-comment-drift",
+        "suppression-justification",
+    ]
+
+
+def test_hygiene_quiet_on_clean_file():
+    assert run_fixture("hygiene_good.py").new == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+def test_justified_suppression_moves_finding_to_suppressed():
+    report = run_fixture("suppress_ok.py")
+    assert report.new == []
+    assert [f.rule for f in report.suppressed] == ["no-global-rng"]
+
+
+def test_bare_suppression_is_not_honoured():
+    # hygiene_bad.py tries to hide a dtype violation behind a
+    # justification-less disable comment; with the file configured as a
+    # hot path the violation must still surface as new.
+    report = run_fixture("hygiene_bad.py", config=HOT_FIXTURES)
+    assert "dtype-discipline" in new_rules(report)
+    assert report.suppressed == []
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+def test_baseline_roundtrip_and_line_drift_stability(tmp_path):
+    target = tmp_path / "debt.py"
+    source = (FIXTURES / "rng_bad.py").read_text(encoding="utf-8")
+    target.write_text(source, encoding="utf-8")
+
+    first = lint_paths([target], config=LintConfig(), root=tmp_path)
+    assert len(first.new) == 4
+    baseline_path = tmp_path / "lint_baseline.json"
+    write_baseline(baseline_path, first.new)
+
+    # Shift every finding down three lines: fingerprints must survive.
+    target.write_text("# pad\n# pad\n# pad\n" + source, encoding="utf-8")
+    second = lint_paths(
+        [target],
+        config=LintConfig(),
+        root=tmp_path,
+        baseline=load_baseline(baseline_path),
+    )
+    assert second.new == []
+    assert len(second.baselined) == 4
+    assert second.ok
+
+
+def test_absent_baseline_is_empty(tmp_path):
+    loaded = load_baseline(tmp_path / "missing.json")
+    assert loaded.fingerprints == Baseline.empty().fingerprints
+
+
+def test_syntax_error_becomes_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n", encoding="utf-8")
+    report = lint_paths([bad], config=LintConfig(), root=tmp_path)
+    assert new_rules(report) == ["syntax-error"]
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(KeyError):
+        run_fixture("rng_good.py", rule_ids=["no-such-rule"])
+
+
+def test_rule_filter_restricts_scan():
+    report = run_fixture("hygiene_bad.py", rule_ids=["mutable-default"])
+    assert new_rules(report) == ["mutable-default"] * 2
+
+
+# ----------------------------------------------------------------------
+# Registry / config
+# ----------------------------------------------------------------------
+
+def test_registry_contains_the_documented_rules():
+    assert set(load_all_rules()) >= {
+        "no-global-rng",
+        "dtype-discipline",
+        "zero-alloc-kernel",
+        "no-wallclock-in-sim",
+        "reference-parity",
+        "mutable-default",
+        "shape-comment-drift",
+        "suppression-justification",
+    }
+
+
+def test_overrides_accept_dashes_and_underscores():
+    base = LintConfig()
+    a = apply_overrides(base, {"hot-path-modules": ["x.py"]})
+    b = apply_overrides(base, {"hot_path_modules": ["x.py"]})
+    assert a.hot_path_modules == b.hot_path_modules == ("x.py",)
+    # Unknown keys are ignored, not fatal.
+    assert apply_overrides(base, {"bogus": 1}) == base
+
+
+# ----------------------------------------------------------------------
+# The repo itself
+# ----------------------------------------------------------------------
+
+def test_src_is_clean_modulo_checked_in_baseline():
+    report = lint_paths(
+        [REPO_ROOT / "src"],
+        root=REPO_ROOT,
+        baseline=load_baseline(REPO_ROOT / "lint_baseline.json"),
+    )
+    assert report.ok, "\n".join(f.format() for f in report.new)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+def test_cli_exit_codes_and_json():
+    clean = run_cli(str(FIXTURES / "rng_good.py"), "--no-baseline")
+    assert clean.returncode == 0, clean.stderr
+
+    dirty = run_cli(str(FIXTURES / "rng_bad.py"), "--no-baseline", "--json")
+    assert dirty.returncode == 1
+    payload = json.loads(dirty.stdout)
+    assert payload["ok"] is False
+    assert len(payload["new"]) == 4
+
+    missing = run_cli(str(FIXTURES / "no_such_file.py"))
+    assert missing.returncode == 2
+
+
+def test_cli_list_rules():
+    result = run_cli("--list-rules")
+    assert result.returncode == 0
+    assert "no-global-rng" in result.stdout
+    assert "zero-alloc-kernel" in result.stdout

@@ -31,7 +31,7 @@ class TestAdaptiveLSH:
     def test_len_counts_live_entries(self, rng):
         index = AdaptiveLSH(dim=8, rng=rng)
         a = index.insert(_unit_rows(rng, 1, 8)[0])
-        b = index.insert(_unit_rows(rng, 1, 8)[0])
+        index.insert(_unit_rows(rng, 1, 8)[0])
         assert len(index) == 2
         index.delete(a)
         assert len(index) == 1

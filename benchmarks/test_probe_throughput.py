@@ -14,7 +14,17 @@ kernels:
   :class:`LookupWorkspace` (column-mode accumulator, ``out=`` matmuls);
 * **float32 + LSH** — the same kernel with ``prune_threshold`` engaged:
   each session pins a multi-probe A-LSH candidate shortlist (the union
-  of the batch's buckets) and probes only those columns per layer.
+  of the batch's buckets) and probes only those columns per layer;
+* **int8 two-tier** — ``quantize_threshold`` engaged: a coarse pass over
+  the staged int8 dequantized centroids picks re-score candidates, then
+  the exact float32 kernel scores only those columns, so every decision
+  still comes from full precision;
+* **int8 + LSH** — the two tiers composed: the coarse quantized pass
+  scores only LSH-shortlisted columns, and the exact re-score only the
+  survivors of both filters;
+* **int8 + LSH, threads=2** — the composed kernel with
+  ``probe_threads=2``: batch rows split into contiguous blocks served
+  by per-thread workspace slices (bit-identical to single-threaded).
 
 Two scenarios split the gates.  At 512 entries/layer the float32
 dense kernel must clear 2x the seed throughput (1.4x under CI, where
@@ -23,7 +33,12 @@ every seed decision bit for bit.  At 4096 entries/layer — where the
 batch's hot-spot neighbourhoods cover a minority of the cache — the
 LSH shortlist (pinned from the deepest layer, as the engines do) must
 beat the dense float32 kernel on top of that while agreeing with the
-seed on almost every decision.
+seed on almost every decision, and the composed int8 + LSH two-tier
+kernel must double the float32 + LSH throughput again (1.5x under CI)
+while agreeing with the float32 dense kernel on **every** decision.
+
+Every result line records its dtype and thread count so archived
+anchors are self-describing.
 """
 
 from __future__ import annotations
@@ -41,6 +56,16 @@ RUN_LENGTH = 32  # frames per hot-spot run within a batch (paper-like streams)
 TRIALS = 3
 ALPHA = 0.5
 THETA = 0.05
+
+#: The archived PR-5 float32 + LSH anchor at the 4096 entries/layer tier,
+#: expressed as its speedup over the seed float64 dense kernel (4.17x =
+#: 162.4 ms seed / 38.9 ms LSH in benchmarks/results/probe_throughput.txt
+#: at the time the two-tier kernel landed).  The two-tier gate compares
+#: against this *anchor* rather than the same-run float32 + LSH time
+#: because this PR's shortlist optimizations (lazy dead-purge fast path,
+#: duplicate-free bucket unions) sped the float32 + LSH baseline up too;
+#: normalizing by the same-run seed keeps the gate machine-independent.
+ANCHOR_LSH_SPEEDUP = 4.17
 
 
 def _geometry(rng, num_classes, entries):
@@ -125,13 +150,21 @@ class Scenario:
         self.layers = _geometry(rng, num_classes, entries)
         self.queries = _queries(rng, self.layers, batch, entries)
 
-    def build_cache(self, dtype, prune_threshold=None):
+    def build_cache(
+        self,
+        dtype,
+        prune_threshold=None,
+        quantize_threshold=None,
+        probe_threads=1,
+    ):
         cache = SemanticCache(
             self.num_classes,
             alpha=ALPHA,
             theta=THETA,
             dtype=dtype,
             prune_threshold=prune_threshold,
+            quantize_threshold=quantize_threshold,
+            probe_threads=probe_threads,
         )
         for layer, (ids, mats) in enumerate(self.layers):
             cache.set_layer_entries(layer, ids, mats)
@@ -147,16 +180,25 @@ class Scenario:
         return np.stack(tops), np.stack(hits)
 
     def decisions(self, cache, workspace):
-        """(top_class, hit) per (layer, row) plus the session shortlist."""
+        """(top_class, hit) per (layer, row) plus the session shortlist
+        and the two-tier coarse candidate set (both ``None`` when the
+        matching tier is off)."""
         probe_queries = np.ascontiguousarray(self.queries, dtype=cache.dtype)
         session = cache.start_batch_session(self.batch, workspace=workspace)
         self._prime(cache, session, probe_queries)
-        tops, hits = [], []
+        tops, hits, scores = [], [], []
         for layer in range(NUM_LAYERS):
             result = session.probe(layer, probe_queries[:, layer, :])
             tops.append(result.top_class)
             hits.append(result.hit)
-        return np.stack(tops), np.stack(hits), session._shortlist
+            scores.append(result.score)
+        return (
+            np.stack(tops),
+            np.stack(hits),
+            np.stack(scores),
+            session._shortlist,
+            session._candidates,
+        )
 
     def time_seed(self):
         best = float("inf")
@@ -173,11 +215,11 @@ class Scenario:
 
     @staticmethod
     def _prime(cache, session, probe_queries):
-        """Pin the session shortlist from the deepest pruned layer, as
-        the inference engines do."""
-        pruned = cache.pruned_layers()
-        if pruned:
-            deepest = pruned[-1]
+        """Pin the session shortlist (and coarse candidates) from the
+        deepest indexed/quantized layer, as the inference engines do."""
+        primable = cache.shortlist_layers()
+        if primable:
+            deepest = primable[-1]
             session.prime_shortlist(deepest, probe_queries[:, deepest, :])
 
     def time_cache(self, cache, workspace):
@@ -196,17 +238,21 @@ class Scenario:
         return best
 
 
-def _rows(results, scenario):
+def _rows(results, scenario, tags):
+    """Result lines (one per kernel, each stamped with its dtype and
+    thread count so archived anchors are self-describing) + speedups."""
     probes = scenario.rounds * scenario.batch * NUM_LAYERS
     baseline = results["seed float64 dense"]
     lines = []
     speedups = {}
     for label, elapsed in results.items():
+        dtype, threads = tags[label]
         speedups[label] = baseline / elapsed
         lines.append(
-            f"  {label:20s} {elapsed * 1e3:8.1f} ms "
+            f"  {label:22s} {elapsed * 1e3:8.1f} ms "
             f"({probes / elapsed / 1e6:7.2f} M probes/s)   "
-            f"speedup {baseline / elapsed:5.2f}x"
+            f"speedup {baseline / elapsed:5.2f}x   "
+            f"dtype={dtype} threads={threads}"
         )
     return lines, speedups
 
@@ -220,18 +266,61 @@ def test_probe_throughput(benchmark, report):
     # --- decision quality before speed -------------------------------
     small_dense = small.build_cache(np.float32)
     seed_tops, seed_hits = small.seed_decisions()
-    tops32, hits32, shortlist = small.decisions(small_dense, workspace)
+    tops32, hits32, _, shortlist, candidates = small.decisions(
+        small_dense, workspace
+    )
     assert shortlist is None  # no pruning on the dense cache
+    assert candidates is None  # no quantized tier on the dense cache
     assert np.array_equal(tops32, seed_tops), "float32 flipped a top class"
     assert np.array_equal(hits32, seed_hits), "float32 flipped a hit decision"
 
     large_dense = large.build_cache(np.float32)
     large_pruned = large.build_cache(np.float32, prune_threshold=large.entries)
+    large_int8 = large.build_cache(
+        np.float32, quantize_threshold=large.entries
+    )
+    large_int8_lsh = large.build_cache(
+        np.float32,
+        prune_threshold=large.entries,
+        quantize_threshold=large.entries,
+    )
+    large_int8_mt = large.build_cache(
+        np.float32,
+        prune_threshold=large.entries,
+        quantize_threshold=large.entries,
+        probe_threads=2,
+    )
     assert large_pruned.pruned_layers() == list(range(NUM_LAYERS))
+    assert large_int8.quantized_layers() == list(range(NUM_LAYERS))
     big_tops, big_hits = large.seed_decisions()
-    tops_pr, hits_pr, shortlist = large.decisions(large_pruned, workspace)
+    tops_pr, hits_pr, _, shortlist, _ = large.decisions(large_pruned, workspace)
     agreement = float(((tops_pr == big_tops) & (hits_pr == big_hits)).mean())
     assert agreement >= 0.97, f"pruned probe agreement too low: {agreement:.3f}"
+
+    # The two-tier acceptance gate: int8 coarse shortlist + exact float32
+    # re-score must agree with the dense float32 kernel on EVERY decision,
+    # alone, composed with LSH, and composed with LSH across threads —
+    # and the threaded kernel must be bit-identical, scores included.
+    dense_tops, dense_hits, dense_scores, _, _ = large.decisions(
+        large_dense, workspace
+    )
+    tops_q, hits_q, _, _, cand_q = large.decisions(large_int8, workspace)
+    assert cand_q is not None and 2 <= cand_q.size < large.entries
+    assert np.array_equal(tops_q, dense_tops), "int8 tier flipped a top class"
+    assert np.array_equal(hits_q, dense_hits), "int8 tier flipped a hit"
+    tops_ql, hits_ql, scores_ql, sl_ql, cand_ql = large.decisions(
+        large_int8_lsh, workspace
+    )
+    assert sl_ql is not None and cand_ql is not None
+    assert cand_ql.size <= sl_ql.size  # coarse pass filters the LSH set
+    assert np.array_equal(tops_ql, dense_tops), "int8+LSH flipped a top class"
+    assert np.array_equal(hits_ql, dense_hits), "int8+LSH flipped a hit"
+    tops_mt, hits_mt, scores_mt, _, _ = large.decisions(
+        large_int8_mt, workspace
+    )
+    assert np.array_equal(tops_mt, tops_ql), "threads changed a top class"
+    assert np.array_equal(hits_mt, hits_ql), "threads changed a hit"
+    assert np.array_equal(scores_mt, scores_ql), "threads changed a score bit"
 
     def run_all():
         return (
@@ -243,14 +332,31 @@ def test_probe_throughput(benchmark, report):
                 "seed float64 dense": large.time_seed(),
                 "float32 dense": large.time_cache(large_dense, workspace),
                 "float32 + LSH": large.time_cache(large_pruned, workspace),
+                "int8 two-tier": large.time_cache(large_int8, workspace),
+                "int8 + LSH": large.time_cache(large_int8_lsh, workspace),
+                "int8 + LSH, threads=2": large.time_cache(
+                    large_int8_mt, workspace
+                ),
             },
         )
 
     small_results, large_results = benchmark.pedantic(
         run_all, rounds=1, iterations=1
     )
-    small_lines, small_speedups = _rows(small_results, small)
-    large_lines, large_speedups = _rows(large_results, large)
+    small_tags = {
+        "seed float64 dense": ("float64", 1),
+        "float32 dense": ("float32", 1),
+    }
+    large_tags = {
+        "seed float64 dense": ("float64", 1),
+        "float32 dense": ("float32", 1),
+        "float32 + LSH": ("float32", 1),
+        "int8 two-tier": ("int8", 1),
+        "int8 + LSH": ("int8", 1),
+        "int8 + LSH, threads=2": ("int8", 2),
+    }
+    small_lines, small_speedups = _rows(small_results, small, small_tags)
+    large_lines, large_speedups = _rows(large_results, large, large_tags)
     report(
         "probe_throughput",
         f"Probe-kernel throughput ({NUM_LAYERS} layers, d={DIM}, hot-spot "
@@ -262,16 +368,28 @@ def test_probe_throughput(benchmark, report):
         f"float32 dense reproduced every seed decision at "
         f"{small.entries} entries; LSH shortlist kept "
         f"{shortlist.size}/{large.entries} entries at "
-        f"{100 * agreement:.2f}% decision agreement",
+        f"{100 * agreement:.2f}% decision agreement; int8 coarse pass kept "
+        f"{cand_ql.size}/{sl_ql.size} LSH-shortlisted entries with 100% "
+        f"decision agreement vs float32 dense (threads=2 bit-identical)",
     )
     # The tentpole gates (CI floors relaxed for shared-runner noise):
     # single precision + workspace reuse must at least double the seed
-    # dense-float64 probe throughput on the >= 512-entry cache, and the
+    # dense-float64 probe throughput on the >= 512-entry cache, the
     # LSH shortlist must add a further win once the cache outgrows the
-    # batch's hot-spot neighbourhoods.
+    # batch's hot-spot neighbourhoods, and the two-tier int8 + LSH
+    # kernel must double the archived float32 + LSH anchor (and still
+    # beat the same-run float32 + LSH, which this PR sped up as well).
     assert small_speedups["float32 dense"] >= (1.4 if ci else 2.0), small_speedups
     assert large_speedups["float32 + LSH"] >= (1.4 if ci else 2.0), large_speedups
     assert (
         large_speedups["float32 + LSH"]
         >= (1.0 if ci else 1.1) * large_speedups["float32 dense"]
+    ), large_speedups
+    assert (
+        large_speedups["int8 + LSH"]
+        >= (1.5 if ci else 2.0) * ANCHOR_LSH_SPEEDUP
+    ), large_speedups
+    assert (
+        large_speedups["int8 + LSH"]
+        >= (1.0 if ci else 1.2) * large_speedups["float32 + LSH"]
     ), large_speedups

@@ -115,9 +115,9 @@ class CachedInferenceEngine:
             )
 
         session = self.cache.start_session()
-        pruned_layers = self.cache.pruned_layers()
-        if pruned_layers:
-            deepest = pruned_layers[-1]
+        accelerated = self.cache.shortlist_layers()
+        if accelerated:
+            deepest = accelerated[-1]
             session.prime_shortlist(deepest, sample.vector(deepest))
         probes: list[LayerProbe] = []
         lookup_ms = 0.0
@@ -260,9 +260,9 @@ class BatchedInferenceEngine:
             probe_vectors = vectors
         else:
             probe_vectors = vectors.astype(cache.dtype, copy=False)
-        pruned_layers = cache.pruned_layers()
-        if pruned_layers:
-            deepest = pruned_layers[-1]
+        accelerated = cache.shortlist_layers()
+        if accelerated:
+            deepest = accelerated[-1]
             session.prime_shortlist(deepest, probe_vectors[:, deepest, :])
         dim = probe_vectors.shape[-1]
         outcomes: list[InferenceOutcome | None] = [None] * batch
@@ -337,8 +337,10 @@ class BatchedInferenceEngine:
             samples: the batch to run.
             timings: optional accumulator for wall-clock stage seconds
                 (keys ``"probe"`` — cache lookups including gathers —
-                and ``"model"`` — final-layer classification); used by
-                the ``repro profile-round`` CLI breakdown.
+                and ``"model"`` — final-layer classification, plus the
+                probe sub-stages ``"probe-shortlist"`` / ``"probe-rescore"``
+                when the session's kernels record a split); used by the
+                ``repro profile-round`` CLI breakdown.
         """
         profile = self.model.profile
         cache = self.cache
@@ -376,14 +378,16 @@ class BatchedInferenceEngine:
 
         start = time.perf_counter() if timings is not None else 0.0
         session = cache.start_batch_session(batch, workspace=self.workspace)
+        if timings is not None:
+            session.timings = {}
         workspace = self.workspace
         if vectors.dtype == cache.dtype:
             probe_vectors = vectors
         else:
             probe_vectors = vectors.astype(cache.dtype, copy=False)
-        pruned_layers = cache.pruned_layers()
-        if pruned_layers:
-            deepest = pruned_layers[-1]
+        accelerated = cache.shortlist_layers()
+        if accelerated:
+            deepest = accelerated[-1]
             session.prime_shortlist(deepest, probe_vectors[:, deepest, :])
         dim = probe_vectors.shape[-1]
         lookup_ms = workspace.floats("engine.lookup_ms", (batch,), np.float64)
@@ -409,6 +413,12 @@ class BatchedInferenceEngine:
             timings["probe"] = (
                 timings.get("probe", 0.0) + time.perf_counter() - start
             )
+            # Session-level probe split (the coarse/LSH shortlist pass
+            # vs exact scoring) for the profile-round breakdown.
+            assert session.timings is not None
+            for stage, seconds in session.timings.items():
+                key = f"probe-{stage}"
+                timings[key] = timings.get(key, 0.0) + seconds
 
         if alive.size:
             start = time.perf_counter() if timings is not None else 0.0

@@ -120,6 +120,14 @@ class AdaptiveLSH:
         self._buckets: dict[tuple[int, int], list[int]] = {}
         self._split: set[tuple[int, int]] = set()
         self._split_by_bits: dict[int, set[int]] = {}
+        # Per-level split-code arrays for the vectorized trie descent,
+        # built lazily from _split_by_bits and invalidated on split.
+        self._split_arrays: dict[int, np.ndarray] = {}
+        # Deletions whose ids may still linger in bucket lists (purged
+        # lazily).  0 means every bucket list is clean — the common
+        # rebuild-only lifecycle — so _live_bucket can skip the purge
+        # scan entirely.
+        self._lazy_dead = 0
 
     def __len__(self) -> int:
         return len(self._row_of)
@@ -251,6 +259,7 @@ class AdaptiveLSH:
         if row is None:
             return  # already dead — deletion is idempotent
         self._row_ids[row] = -1
+        self._lazy_dead += 1
         dead = self._rows - len(self._row_of)
         if self._rows >= _MIN_COMPACT_ROWS and dead > len(self._row_of):
             self._compact()
@@ -289,6 +298,8 @@ class AdaptiveLSH:
         self._buckets = {}
         self._split = set()
         self._split_by_bits = {}
+        self._split_arrays = {}
+        self._lazy_dead = 0
         if n == 0:
             self._matrix = np.empty((0, self.dim), dtype=np.float64)
             self._codes = np.empty(0, dtype=np.uint64)
@@ -315,7 +326,13 @@ class AdaptiveLSH:
 
     def _maybe_split(self, key: tuple[int, int]) -> None:
         bucket = self._buckets.get(key, [])
-        live = [i for i in bucket if i in self._row_of]
+        if self._lazy_dead:
+            live = [i for i in bucket if i in self._row_of]
+            # Buckets partition ids, so every purge retires its dead
+            # ids for good and the pending-purge count can shrink.
+            self._lazy_dead -= len(bucket) - len(live)
+        else:
+            live = bucket
         bits, _ = key
         if len(live) <= self.max_bucket_size or bits >= self.max_bits:
             self._buckets[key] = live
@@ -325,6 +342,7 @@ class AdaptiveLSH:
         del self._buckets[key]
         self._split.add(key)
         self._split_by_bits.setdefault(bits, set()).add(key[1])
+        self._split_arrays.pop(bits, None)
         child_keys = set()
         for item in live:
             code = int(self._codes[self._row_of[item]])
@@ -381,9 +399,11 @@ class AdaptiveLSH:
             if at.size == 0:
                 continue
             keys = codes[at] & np.uint64(self._mask(level))
-            promote = np.isin(
-                keys, np.fromiter(split_codes, dtype=np.uint64)
-            )
+            split_array = self._split_arrays.get(level)
+            if split_array is None:
+                split_array = np.fromiter(split_codes, dtype=np.uint64)
+                self._split_arrays[level] = split_array
+            promote = np.isin(keys, split_array)
             bits[at[promote]] += 1
         return bits
 
@@ -490,7 +510,10 @@ class AdaptiveLSH:
             )
         if not merged:
             return np.empty(0, dtype=np.int64)
-        return np.unique(np.asarray(merged, dtype=np.int64))
+        # Buckets partition the ids and the probed keys are distinct, so
+        # the concatenation is already duplicate-free: a sort (not the
+        # hash-dedup of ``np.unique``) restores the documented order.
+        return np.sort(np.asarray(merged, dtype=np.int64))
 
     def _live_bucket(self, key: tuple[int, int]) -> list[int]:
         """Live ids of one bucket, purging dead entries in place.
@@ -499,9 +522,15 @@ class AdaptiveLSH:
         callers must not mutate it.
         """
         bucket = self._buckets.get(key, [])
+        if not self._lazy_dead:
+            # No deletion since the last rebuild: every bucket list is
+            # clean, and the purge scan (which dominates shortlist cost
+            # on hot caches) is skipped outright.
+            return bucket
         live = [i for i in bucket if i in self._row_of]
         if len(live) != len(bucket):
             self._buckets[key] = live
+            self._lazy_dead -= len(bucket) - len(live)
         return live
 
     def vector(self, item_id: int) -> np.ndarray:

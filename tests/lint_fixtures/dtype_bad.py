@@ -1,7 +1,8 @@
 """Fixture: dtype-implicit allocations and copying casts.
 
-Trips ``dtype-discipline`` three times when this file is configured as a
-hot-path module: two dtype-less constructors and one plain ``astype``.
+Trips ``dtype-discipline`` five times when this file is configured as a
+hot-path module: two dtype-less constructors and three plain ``astype``
+calls (one float cast, two quantized-buffer casts).
 """
 
 import numpy as np
@@ -15,3 +16,9 @@ def sloppy_buffers(batch: int) -> object:
 
 def sloppy_cast(vectors: np.ndarray) -> np.ndarray:
     return vectors.astype(np.float32)  # copies even when already float32
+
+
+def sloppy_quantize(mat: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    # Quantized buffers carry the same obligation: both casts copy.
+    codes = np.clip(np.rint(mat / scales[:, None]), -127, 127).astype(np.int8)
+    return codes.astype(np.float32) * scales.astype(np.float32, copy=False)[:, None]

@@ -11,3 +11,12 @@ def tidy_buffers(batch: int) -> object:
 
 def tidy_cast(vectors: np.ndarray) -> np.ndarray:
     return vectors.astype(np.float32, copy=False)
+
+
+def tidy_quantize(mat: np.ndarray, scales: np.ndarray) -> object:
+    codes = np.clip(np.rint(mat / scales[:, None]), -127, 127).astype(
+        np.int8, copy=False
+    )
+    staged = np.empty(mat.shape, dtype=np.float32)
+    np.multiply(codes, scales[:, None], out=staged)
+    return codes, staged

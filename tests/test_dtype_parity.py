@@ -26,15 +26,38 @@ from repro.data.datasets import get_dataset
 from repro.sim.metrics import per_class_hit_rates
 
 
-def _framework(lookup_dtype: str) -> CoCaFramework:
+def _framework(
+    lookup_dtype: str,
+    quantize_threshold: int | None = None,
+    probe_threads: int = 1,
+) -> CoCaFramework:
     return CoCaFramework(
         dataset=get_dataset("ucf101", 30),
         model_name="resnet101",
         num_clients=4,
         seed=11,
         enable_dca=False,  # the preset cache: every class at every layer
-        config=CoCaConfig(frames_per_round=150, lookup_dtype=lookup_dtype),
+        config=CoCaConfig(
+            frames_per_round=150,
+            lookup_dtype=lookup_dtype,
+            quantize_threshold=quantize_threshold,
+            # A 30-class cache is the worst case for cross-layer rank
+            # drift (every class is near the top-2 of *some* layer), so
+            # the parity tiers run the conservative margin; the coarse
+            # pass still pins a strict candidate subset in almost every
+            # session at this setting.
+            coarse_margin=0.15,
+            probe_threads=probe_threads,
+        ),
     )
+
+
+def _run_collecting(framework: CoCaFramework, rounds: int = 3) -> list:
+    records: list = []
+    for r in range(rounds):
+        for report in framework.run_round(r):
+            records.extend(report.records)
+    return records
 
 
 class TestFrameworkPrecisionParity:
@@ -64,6 +87,45 @@ class TestFrameworkPrecisionParity:
         )
         assert np.array_equal(
             fast.server.table.class_freq, exact.server.table.class_freq
+        )
+
+    def test_int8_shortlist_reproduces_float32_run(self):
+        """The two-tier kernel's parity contract: int8 coarse shortlist +
+        exact float32 re-score must reproduce the plain float32 run —
+        identical decisions, hence bit-identical merged tables (the
+        quantized codes only choose *which* columns the exact kernel
+        scores, never the scores themselves)."""
+        plain = _framework("float32")
+        twotier = _framework("float32", quantize_threshold=2)
+        records_p = _run_collecting(plain)
+        records_q = _run_collecting(twotier)
+        served = twotier.clients[0].engine.cache
+        assert served is not None and served.quantized_layers()
+        assert len(records_p) == len(records_q) == 4 * 150 * 3
+        for a, b in zip(records_p, records_q):
+            assert a.predicted_class == b.predicted_class
+            assert a.hit_layer == b.hit_layer
+        assert np.array_equal(
+            plain.server.table.entries, twotier.server.table.entries
+        )
+        assert np.array_equal(
+            plain.server.table.class_freq, twotier.server.table.class_freq
+        )
+
+    def test_probe_threads_reproduce_single_thread_run(self):
+        """Thread-blocked probes split rows into disjoint blocks of
+        independent row math: a multithreaded full framework run must be
+        indistinguishable from the single-threaded one."""
+        single = _framework("float32", quantize_threshold=2)
+        threaded = _framework("float32", quantize_threshold=2, probe_threads=4)
+        records_s = _run_collecting(single, rounds=2)
+        records_t = _run_collecting(threaded, rounds=2)
+        assert len(records_s) == len(records_t) == 4 * 150 * 2
+        for a, b in zip(records_s, records_t):
+            assert a.predicted_class == b.predicted_class
+            assert a.hit_layer == b.hit_layer
+        assert np.array_equal(
+            single.server.table.entries, threaded.server.table.entries
         )
 
     def test_float32_is_the_serving_default(self):

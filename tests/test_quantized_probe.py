@@ -1,0 +1,470 @@
+"""Two-tier quantized probe kernel: quantization invariants, candidate
+selection, thread-blocked execution, and the workspace thread-safety
+contract.
+
+The kernel's correctness story has three independent legs, each tested
+here in isolation (the full-framework parity lives in
+``test_dtype_parity.py`` and the throughput gates in ``benchmarks/``):
+
+* **quantization round-trip** — int8 codes with symmetric per-row scales
+  reconstruct every row within the tier's recorded L2 ``bound``, and the
+  staged float32 matrix is *bit-exact* ``codes * scale`` (the coarse
+  matmul runs on staged values, so exactness of the staging is what
+  makes the margin analysis sound);
+* **candidate soundness** — the coarse pass may only choose *which*
+  columns the exact kernel scores: with the candidate set pinned, probe
+  outputs must equal the dense kernel restricted to those columns, and
+  degenerate selections must fall back to the dense kernel outright;
+* **thread-block identity** — row blocks are independent math, so
+  ``probe_threads > 1`` must be bit-identical to single-threaded
+  execution, with every thread on its own child workspace.
+"""
+
+import numpy as np
+import pytest
+
+from repro import contracts
+from repro.core.cache import (
+    INT8_EXACT_MAX_DIM,
+    LookupWorkspace,
+    SemanticCache,
+    quantize_rows,
+)
+
+
+def _unit_rows(rng, n, d):
+    mat = rng.standard_normal((n, d))
+    return mat / np.linalg.norm(mat, axis=1, keepdims=True)
+
+
+# ----------------------------------------------------------------------
+# quantize_rows round-trip invariants
+# ----------------------------------------------------------------------
+
+
+class TestQuantizeRows:
+    def test_int8_round_trip_within_bound(self):
+        rng = np.random.default_rng(0)
+        mat = _unit_rows(rng, 64, 48).astype(np.float32)
+        tier = quantize_rows(mat)
+        assert tier.codes.dtype == np.int8
+        assert tier.scales.dtype == np.float32
+        assert tier.staged.dtype == np.float32
+        err = np.linalg.norm(mat.astype(np.float64) - tier.staged, axis=1)
+        assert float(err.max()) <= tier.bound + 1e-12
+        # Symmetric quantization: half-a-step per component worst case.
+        step = tier.scales.astype(np.float64)
+        assert float(err.max()) <= np.sqrt(mat.shape[1]) * float(step.max())
+
+    def test_staged_is_bit_exact_codes_times_scale(self):
+        rng = np.random.default_rng(1)
+        tier = quantize_rows(rng.standard_normal((17, 31)))
+        expect = tier.codes.astype(np.float32) * tier.scales[:, None]
+        assert np.array_equal(tier.staged, expect)
+        assert tier.staged.flags.c_contiguous
+
+    def test_codes_symmetric_range(self):
+        rng = np.random.default_rng(2)
+        tier = quantize_rows(10.0 * rng.standard_normal((32, 8)))
+        assert int(tier.codes.min()) >= -127  # -128 never used
+        assert int(tier.codes.max()) <= 127
+        assert np.all(tier.scales > 0)
+
+    def test_scale_is_per_row(self):
+        mat = np.asarray([[1.0, 0.0], [100.0, 0.0]])
+        tier = quantize_rows(mat)
+        assert tier.scales[1] == pytest.approx(100.0 / 127.0)
+        assert tier.scales[0] == pytest.approx(1.0 / 127.0)
+        assert int(tier.codes[0, 0]) == int(tier.codes[1, 0]) == 127
+
+    def test_empty_matrix(self):
+        tier = quantize_rows(np.empty((0, 8)))
+        assert tier.codes.shape == (0, 8)
+        assert tier.scales.shape == (0,)
+        assert tier.bound == 0.0
+
+    def test_single_row(self):
+        tier = quantize_rows(np.asarray([[0.5, -0.25, 0.125]]))
+        assert tier.codes.shape == (1, 3)
+        assert float(
+            np.linalg.norm(np.asarray([0.5, -0.25, 0.125]) - tier.staged[0])
+        ) <= tier.bound + 1e-12
+
+    def test_zero_row_uses_epsilon_scale(self):
+        tier = quantize_rows(np.asarray([[0.0, 0.0], [1.0, 0.0]]))
+        assert np.all(tier.scales > 0)
+        assert np.array_equal(tier.staged[0], [0.0, 0.0])
+
+    def test_float16_variant(self):
+        rng = np.random.default_rng(3)
+        mat = _unit_rows(rng, 16, 24)
+        tier = quantize_rows(mat, quant_dtype=np.float16)
+        assert tier.codes.dtype == np.float16
+        assert np.all(tier.scales == 1.0)
+        err = np.linalg.norm(mat - tier.staged, axis=1)
+        assert float(err.max()) <= tier.bound + 1e-12
+        # fp16 is a straight downcast: far tighter than int8 at unit norm.
+        assert tier.bound < quantize_rows(mat).bound
+
+    def test_rejects_bad_dtype_and_shape(self):
+        with pytest.raises(ValueError, match="quant_dtype"):
+            quantize_rows(np.eye(3), quant_dtype=np.int16)
+        with pytest.raises(ValueError, match="2-D"):
+            quantize_rows(np.zeros(4))
+
+    def test_int8_exact_rescore_dimension_budget(self):
+        # d * 127^2 must fit a float32 mantissa for the staged matmul to
+        # be exactly representable; the repo's feature dims sit far under.
+        assert INT8_EXACT_MAX_DIM == (2**24 - 1) // (127 * 127)
+        assert INT8_EXACT_MAX_DIM >= 1040
+
+
+# ----------------------------------------------------------------------
+# Quantization contracts
+# ----------------------------------------------------------------------
+
+
+class TestQuantizationContracts:
+    def _tier_args(self, seed=0, n=12, d=16):
+        rng = np.random.default_rng(seed)
+        stored = np.ascontiguousarray(
+            _unit_rows(rng, n, d), dtype=np.float32
+        )
+        tier = quantize_rows(stored)
+        return stored, tier
+
+    def test_good_tier_passes(self):
+        stored, tier = self._tier_args()
+        contracts.check_quantized_tier(
+            0, stored, tier.codes, tier.scales, tier.staged, tier.bound
+        )
+
+    def test_tampered_staging_fires(self):
+        stored, tier = self._tier_args()
+        staged = tier.staged.copy()
+        staged[0, 0] += 1e-3
+        with pytest.raises(AssertionError):
+            contracts.check_quantized_tier(
+                0, stored, tier.codes, tier.scales, staged, tier.bound
+            )
+
+    def test_understated_bound_fires(self):
+        stored, tier = self._tier_args()
+        with pytest.raises(AssertionError):
+            contracts.check_quantized_tier(
+                0, stored, tier.codes, tier.scales, tier.staged,
+                tier.bound / 2,
+            )
+
+    def test_candidate_ids_pass_and_fail(self):
+        contracts.check_candidate_ids(np.asarray([1, 4, 9]), 10)
+        with pytest.raises(AssertionError):  # duplicate
+            contracts.check_candidate_ids(np.asarray([1, 1, 2]), 10)
+        with pytest.raises(AssertionError):  # out of range
+            contracts.check_candidate_ids(np.asarray([1, 10]), 10)
+        with pytest.raises(AssertionError):  # too few for a runner-up
+            contracts.check_candidate_ids(np.asarray([3]), 10)
+
+    def test_cache_refresh_checked_under_contracts(self):
+        rng = np.random.default_rng(5)
+        with contracts.activated():
+            cache = SemanticCache(20, quantize_threshold=2)
+            cache.set_layer_entries(
+                0, np.arange(10), _unit_rows(rng, 10, 12)
+            )
+        assert cache.quantized_layers() == [0]
+
+
+# ----------------------------------------------------------------------
+# Cache-level tier management
+# ----------------------------------------------------------------------
+
+
+class TestQuantizedTierManagement:
+    def _cache(self, **kw):
+        rng = np.random.default_rng(7)
+        cache = SemanticCache(40, theta=0.03, **kw)
+        for layer in range(3):
+            cache.set_layer_entries(
+                layer, np.arange(30), _unit_rows(rng, 30, 16)
+            )
+        return cache
+
+    def test_threshold_gates_tier_creation(self):
+        assert self._cache().quantized_layers() == []
+        assert self._cache(quantize_threshold=31).quantized_layers() == []
+        assert self._cache(quantize_threshold=30).quantized_layers() == [0, 1, 2]
+
+    def test_shortlist_layers_unions_accelerators(self):
+        both = self._cache(prune_threshold=2, quantize_threshold=2)
+        assert both.shortlist_layers() == [0, 1, 2]
+        only_q = self._cache(quantize_threshold=2)
+        assert only_q.pruned_layers() == []
+        assert only_q.shortlist_layers() == [0, 1, 2]
+
+    def test_replace_and_remove_refresh_tier(self):
+        cache = self._cache(quantize_threshold=2)
+        before = cache.quantized_tier(1)
+        rng = np.random.default_rng(11)
+        cache.set_layer_entries(1, np.arange(25), _unit_rows(rng, 25, 16))
+        after = cache.quantized_tier(1)
+        assert after is not None and after.codes.shape == (25, 16)
+        assert before is not after
+        cache.set_layer_entries(1, np.asarray([], dtype=int), np.empty((0, 16)))
+        assert cache.quantized_tier(1) is None
+        assert cache.quantized_layers() == [0, 2]
+
+    def test_clear_drops_tiers(self):
+        cache = self._cache(quantize_threshold=2)
+        cache.clear()
+        assert cache.quantized_layers() == []
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="quantize_threshold"):
+            SemanticCache(4, quantize_threshold=1)
+        with pytest.raises(ValueError, match="coarse_margin"):
+            SemanticCache(4, coarse_margin=-0.1)
+        with pytest.raises(ValueError, match="probe_threads"):
+            SemanticCache(4, probe_threads=0)
+        with pytest.raises(ValueError, match="quantize_dtype"):
+            SemanticCache(4, quantize_threshold=2, quantize_dtype=np.int32)
+
+    def test_set_probe_threads(self):
+        cache = self._cache()
+        cache.set_probe_threads(3)
+        assert cache.probe_threads == 3
+        with pytest.raises(ValueError):
+            cache.set_probe_threads(0)
+
+
+# ----------------------------------------------------------------------
+# Two-tier probe behaviour
+# ----------------------------------------------------------------------
+
+
+def _scenario(seed=13, classes=300, entries=256, dim=24, batch=16, layers=3):
+    """Correlated per-layer geometry (shared class directions) so the
+    deepest layer's candidates track the shallow layers' top-2."""
+    rng = np.random.default_rng(seed)
+    dirs = _unit_rows(rng, classes, dim)
+    ids = np.sort(rng.choice(classes, size=entries, replace=False))
+    mats = []
+    for _ in range(layers):
+        m = 0.9 * dirs[ids] + 0.1 * _unit_rows(rng, entries, dim)
+        mats.append(m / np.linalg.norm(m, axis=1, keepdims=True))
+    pick = rng.integers(entries, size=batch)
+    queries = np.empty((batch, layers, dim), dtype=np.float32)
+    for layer in range(layers):
+        q = mats[layer][pick] + 0.1 * rng.standard_normal((batch, dim))
+        queries[:, layer, :] = q / np.linalg.norm(q, axis=1, keepdims=True)
+    return ids, mats, queries
+
+
+def _build(ids, mats, classes=300, **kw):
+    cache = SemanticCache(classes, theta=0.05, **kw)
+    for layer, m in enumerate(mats):
+        cache.set_layer_entries(layer, ids, m)
+    return cache
+
+
+def _probe_all(cache, queries, workspace=None, prime=True):
+    batch, layers = queries.shape[0], queries.shape[1]
+    session = cache.start_batch_session(batch, workspace=workspace)
+    if prime and cache.shortlist_layers():
+        deepest = cache.shortlist_layers()[-1]
+        session.prime_shortlist(deepest, queries[:, deepest, :])
+    out = []
+    for layer in range(layers):
+        out.append(session.probe(layer, queries[:, layer, :]))
+    return session, out
+
+
+class TestTwoTierProbe:
+    def test_candidates_pinned_and_decisions_match_dense(self):
+        ids, mats, queries = _scenario()
+        dense = _build(ids, mats)
+        twotier = _build(ids, mats, quantize_threshold=2, coarse_margin=0.1)
+        ws = LookupWorkspace()
+        _, dense_probes = _probe_all(dense, queries, ws)
+        session, tier_probes = _probe_all(twotier, queries, ws)
+        assert session._candidates is not None
+        assert 2 <= session._candidates.size < ids.size
+        for a, b in zip(dense_probes, tier_probes):
+            assert np.array_equal(a.top_class, b.top_class)
+            assert np.array_equal(a.hit, b.hit)
+
+    def test_rescore_equals_dense_restricted_to_candidates(self):
+        """The exact-re-score leg: with the candidate set pinned, the
+        two-tier probe IS the dense kernel on the candidate columns."""
+        ids, mats, queries = _scenario(seed=29)
+        twotier = _build(ids, mats, quantize_threshold=2, coarse_margin=0.1)
+        ws = LookupWorkspace()
+        session, tier_probes = _probe_all(twotier, queries, ws)
+        cand = session._candidates
+        assert cand is not None
+        sub = _build(
+            np.asarray(sorted(set(ids) & set(cand.tolist()))),
+            [m[np.isin(ids, cand)] for m in mats],
+        )
+        _, sub_probes = _probe_all(sub, queries, LookupWorkspace())
+        for a, b in zip(tier_probes, sub_probes):
+            assert np.array_equal(a.top_class, b.top_class)
+            assert np.array_equal(a.score, b.score)
+
+    def test_unpinned_candidates_fall_back_to_dense(self):
+        """A huge margin keeps every column -> the degenerate guard
+        leaves candidates unpinned and probes run dense, bit for bit."""
+        ids, mats, queries = _scenario(seed=31)
+        dense = _build(ids, mats)
+        twotier = _build(ids, mats, quantize_threshold=2, coarse_margin=1e6)
+        ws = LookupWorkspace()
+        session, tier_probes = _probe_all(twotier, queries, ws)
+        assert session._candidates is None
+        _, dense_probes = _probe_all(dense, queries, ws)
+        for a, b in zip(dense_probes, tier_probes):
+            assert np.array_equal(a.score, b.score)
+            assert np.array_equal(a.top_class, b.top_class)
+
+    def test_composes_with_lsh_shortlist(self):
+        ids, mats, queries = _scenario(seed=37)
+        combined = _build(
+            ids, mats,
+            prune_threshold=2, quantize_threshold=2, coarse_margin=0.1,
+        )
+        session, _ = _probe_all(combined, queries, LookupWorkspace())
+        assert session._shortlist is not None
+        assert session._candidates is not None
+        # Composition: candidates only ever come from the LSH shortlist.
+        assert set(session._candidates.tolist()) <= set(
+            session._shortlist.tolist()
+        )
+
+    def test_scalar_session_two_tier(self):
+        ids, mats, queries = _scenario(seed=41)
+        dense = _build(ids, mats)
+        twotier = _build(ids, mats, quantize_threshold=2, coarse_margin=0.1)
+        for row in range(6):
+            s_dense = dense.start_session()
+            s_tier = twotier.start_session()
+            deepest = twotier.shortlist_layers()[-1]
+            s_tier.prime_shortlist(deepest, queries[row, deepest, :])
+            for layer in range(queries.shape[1]):
+                a = s_dense.probe(layer, queries[row, layer, :])
+                b = s_tier.probe(layer, queries[row, layer, :])
+                assert a.top_class == b.top_class
+                assert a.hit == b.hit
+
+    def test_timings_record_shortlist_rescore_split(self):
+        ids, mats, queries = _scenario(seed=43)
+        twotier = _build(ids, mats, quantize_threshold=2, coarse_margin=0.1)
+        session = twotier.start_batch_session(queries.shape[0])
+        session.timings = {}
+        deepest = twotier.shortlist_layers()[-1]
+        session.prime_shortlist(deepest, queries[:, deepest, :])
+        for layer in range(queries.shape[1]):
+            session.probe(layer, queries[:, layer, :])
+        assert session.timings["shortlist"] > 0
+        assert session.timings["rescore"] > 0
+
+
+# ----------------------------------------------------------------------
+# Thread-blocked execution
+# ----------------------------------------------------------------------
+
+
+class TestThreadedProbe:
+    @pytest.mark.parametrize("threads", [2, 3, 8])
+    def test_bit_identical_to_single_thread(self, threads):
+        ids, mats, queries = _scenario(batch=64)
+        single = _build(ids, mats)
+        multi = _build(ids, mats, probe_threads=threads)
+        ws_s, ws_m = LookupWorkspace(), LookupWorkspace()
+        _, probes_s = _probe_all(single, queries, ws_s)
+        _, probes_m = _probe_all(multi, queries, ws_m)
+        for a, b in zip(probes_s, probes_m):
+            assert np.array_equal(a.top_class, b.top_class)
+            assert np.array_equal(a.second_class, b.second_class)
+            assert np.array_equal(a.score, b.score)
+            assert np.array_equal(a.hit, b.hit)
+
+    def test_threaded_two_tier_bit_identical(self):
+        ids, mats, queries = _scenario(batch=64)
+        kw = dict(
+            prune_threshold=2, quantize_threshold=2, coarse_margin=0.1
+        )
+        single = _build(ids, mats, **kw)
+        multi = _build(ids, mats, probe_threads=2, **kw)
+        _, probes_s = _probe_all(single, queries, LookupWorkspace())
+        _, probes_m = _probe_all(multi, queries, LookupWorkspace())
+        for a, b in zip(probes_s, probes_m):
+            assert np.array_equal(a.score, b.score)
+            assert np.array_equal(a.hit, b.hit)
+
+    def test_small_batches_stay_single_threaded(self):
+        """Below _MIN_BLOCK_ROWS per block there is nothing to split:
+        the kernel must not pay pool dispatch for tiny batches."""
+        ids, mats, queries = _scenario(batch=8)
+        multi = _build(ids, mats, probe_threads=4)
+        ws = LookupWorkspace()
+        _, probes = _probe_all(multi, queries, ws)
+        assert ws._executor is None  # pool never spun up
+        assert probes[0].score.shape == (8,)
+
+    def test_accumulation_correct_across_threads(self):
+        """Eq. 1 accumulation must survive thread-blocked folding: the
+        final accumulated values equal the straightforward recurrence."""
+        ids, mats, queries = _scenario(batch=64)
+        multi = _build(ids, mats, probe_threads=4)
+        session, _ = _probe_all(multi, queries, LookupWorkspace())
+        expect = np.zeros((64, ids.size))
+        for layer, m in enumerate(mats):
+            sims = queries[:, layer, :].astype(np.float32) @ np.ascontiguousarray(
+                m, dtype=np.float32
+            ).T
+            expect = sims + 0.5 * expect
+        got = np.stack(
+            [
+                [session.accumulated_score(r, int(c)) for c in ids]
+                for r in range(64)
+            ]
+        )
+        assert np.allclose(got, expect, atol=1e-5)
+
+
+# ----------------------------------------------------------------------
+# Workspace thread-safety contract
+# ----------------------------------------------------------------------
+
+
+class TestWorkspaceThreadSlices:
+    def test_children_are_persistent_and_disjoint(self):
+        ws = LookupWorkspace()
+        child0 = ws.for_thread(0)
+        child1 = ws.for_thread(1)
+        assert child0 is ws.for_thread(0)  # persistent across probes
+        assert child0 is not child1
+        a = child0.floats("x", (8,), np.float32)
+        b = child1.floats("x", (8,), np.float32)
+        assert not np.shares_memory(a, b)
+
+    def test_dtype_switch_never_reuses_stale_width(self):
+        """The (name, dtype) pool key regression: switching a pool's
+        dtype mid-session must hand back a fresh correctly-typed buffer,
+        not a reinterpreted view of the old one."""
+        ws = LookupWorkspace()
+        f64 = ws.floats("sim", (4, 4), np.float64)
+        f64.fill(7.0)
+        f32 = ws.floats("sim", (4, 4), np.float32)
+        assert f32.dtype == np.float32
+        assert not np.shares_memory(f64, f32)
+        assert np.all(ws.floats("sim", (4, 4), np.float64) == 7.0)
+        i8 = ws.floats("sim", (4, 4), np.int8)
+        assert i8.dtype == np.int8 and i8.size == 16
+
+    def test_executor_grows_monotonically(self):
+        ws = LookupWorkspace()
+        pool2 = ws.executor(2)
+        assert ws.executor(1) is pool2  # never shrinks
+        pool4 = ws.executor(4)
+        assert pool4 is not pool2
+        assert ws._executor_workers == 4

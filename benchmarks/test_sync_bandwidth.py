@@ -1,0 +1,153 @@
+"""Cross-shard sync bandwidth: delta rows vs full row copies.
+
+A 4-shard cluster at the largest preset geometry (101 classes x 51
+layers x 48 dim) runs identical upload sequences under two coordinators
+— ``delta_sync=True`` (ship :class:`~repro.store.delta.SnapshotDelta`
+row payloads) and ``delta_sync=False`` (ship full owned-row copies) —
+across a sweep of dirty-row fractions.  Each round dirties a chosen
+fraction of the class universe, then the coordinator syncs every
+replica.
+
+Asserted per fraction:
+
+* every node replica is **bit-identical** between the two coordinators
+  (delta sync is a bandwidth optimization, never a semantics change),
+  and so is the merged table;
+* shipped bytes are accounted on both sides
+  (:attr:`ClusterCoordinator.sync_bytes_shipped`).
+
+Gate: at dirty fractions **<= 10%** the delta path must ship at most
+**1/5** of the full-copy bytes (same floor under CI — byte accounting
+is deterministic, so no relaxation is needed).  The sweep also records
+wall time per sync path and the fraction where the full-snapshot
+fallback takes over.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.node import EdgeServerNode
+from repro.cluster.sharding import ClassShardRouter, ShardedGlobalCache
+from repro.core.server import GlobalCacheTable
+
+NUM_CLASSES = 101
+NUM_LAYERS = 51
+DIM = 48
+NUM_SHARDS = 4
+ROUNDS = 3
+UPDATES_PER_ROUND = 2
+DIRTY_FRACTIONS = (0.02, 0.05, 0.10, 0.25, 0.60)
+GATED_FRACTIONS = tuple(f for f in DIRTY_FRACTIONS if f <= 0.10)
+
+
+class _TableHolder:
+    """Minimal server stand-in: the coordinator only touches ``.table``."""
+
+    def __init__(self, table: GlobalCacheTable) -> None:
+        self.table = table
+
+
+def _build(delta_sync: bool):
+    router = ClassShardRouter(NUM_CLASSES, NUM_SHARDS, salt=0)
+    sharded = ShardedGlobalCache(router, num_layers=NUM_LAYERS, dim=DIM)
+    nodes = [
+        EdgeServerNode(
+            i, _TableHolder(GlobalCacheTable(NUM_CLASSES, NUM_LAYERS, DIM))
+        )
+        for i in range(NUM_SHARDS)
+    ]
+    coordinator = ClusterCoordinator(
+        sharded, nodes, sync_interval=1, delta_sync=delta_sync
+    )
+    return sharded, nodes, coordinator
+
+
+def _run(delta_sync: bool, dirty_fraction: float):
+    """Seeded upload/sync rounds; returns (nodes, sharded, bytes, sync_s)."""
+    sharded, nodes, coordinator = _build(delta_sync)
+    coordinator.sync_all()  # establish a common base epoch (full fallback)
+    base_bytes = coordinator.sync_bytes_shipped
+    rng = np.random.default_rng(7)
+    dirty_rows = max(1, round(dirty_fraction * NUM_CLASSES))
+    sync_seconds = 0.0
+    for _ in range(ROUNDS):
+        for _ in range(UPDATES_PER_ROUND):
+            ids = rng.choice(NUM_CLASSES, size=dirty_rows, replace=False)
+            update = {
+                (int(cid), int(rng.integers(NUM_LAYERS))): rng.normal(size=DIM)
+                for cid in ids
+            }
+            freq = np.zeros(NUM_CLASSES)
+            freq[ids] = rng.integers(1, 5, size=dirty_rows).astype(float)
+            sharded.apply_client_update(update, freq, gamma=0.99)
+        start = time.perf_counter()
+        coordinator.sync_all()
+        sync_seconds += time.perf_counter() - start
+    shipped = coordinator.sync_bytes_shipped - base_bytes
+    return nodes, sharded, coordinator, shipped, sync_seconds
+
+
+def test_sync_bandwidth(benchmark, report):
+    def run_sweep():
+        rows = []
+        for fraction in DIRTY_FRACTIONS:
+            d_nodes, d_sharded, d_coord, d_bytes, d_secs = _run(True, fraction)
+            f_nodes, f_sharded, _, f_bytes, f_secs = _run(False, fraction)
+            for node_d, node_f in zip(d_nodes, f_nodes):
+                assert np.array_equal(
+                    node_d.server.table.entries, node_f.server.table.entries
+                )
+                assert np.array_equal(
+                    node_d.server.table.filled, node_f.server.table.filled
+                )
+                assert np.array_equal(
+                    node_d.server.table.class_freq,
+                    node_f.server.table.class_freq,
+                )
+            assert np.array_equal(
+                d_sharded.merged_table().entries,
+                f_sharded.merged_table().entries,
+            )
+            rows.append(
+                {
+                    "fraction": fraction,
+                    "delta_bytes": d_bytes,
+                    "full_bytes": f_bytes,
+                    "ratio": d_bytes / f_bytes,
+                    "delta_ms": 1e3 * d_secs,
+                    "full_ms": 1e3 * f_secs,
+                    "fallbacks": d_coord.full_syncs,
+                    "deltas": d_coord.delta_syncs,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"{'dirty':>7s}{'delta bytes':>13s}{'full bytes':>12s}{'ratio':>8s}"
+        f"{'delta':>9s}{'full':>9s}{'xfers (delta/full)':>20s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{100 * row['fraction']:6.0f}%{row['delta_bytes']:13,d}"
+            f"{row['full_bytes']:12,d}{row['ratio']:8.3f}"
+            f"{row['delta_ms']:7.1f}ms{row['full_ms']:7.1f}ms"
+            f"{row['deltas']:10d}/{row['fallbacks']:<9d}"
+        )
+    report(
+        "sync_bandwidth",
+        f"Delta sync bandwidth ({NUM_CLASSES} classes x {NUM_LAYERS} layers "
+        f"x {DIM} dim, {NUM_SHARDS} shards, {ROUNDS} rounds x "
+        f"{UPDATES_PER_ROUND} uploads, replicas bit-identical to full sync "
+        "at every fraction)\n" + "\n".join(lines),
+    )
+    # The tentpole gate: at <= 10% dirty rows, deltas ship <= 1/5 of the
+    # full-copy bytes.  Byte accounting is deterministic — no CI floor.
+    for row in rows:
+        if row["fraction"] in GATED_FRACTIONS:
+            assert row["ratio"] <= 0.2, row

@@ -12,6 +12,9 @@ Usage::
         --policy region --rounds 2
     python -m repro profile-round --clients 4 --rounds 2
     python -m repro lint src --json
+    python -m repro store inspect runs/table.snapshot --verify
+    python -m repro store convert runs/table.npz runs/table.snapshot
+    python -m repro store diff runs/before.snapshot runs/after.snapshot --json
 
 All runs are fully offline and deterministic for a given ``--seed``.
 """
@@ -367,6 +370,207 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_store_inspect(args: argparse.Namespace) -> int:
+    """Describe a snapshot-store directory (``repro store inspect``)."""
+    from repro.store import MappedTableStore, SnapshotFormatError
+
+    try:
+        store = MappedTableStore(args.path, verify=args.verify)
+    except (SnapshotFormatError, OSError) as exc:
+        print(f"cannot open snapshot {args.path}: {exc}", file=sys.stderr)
+        return 1
+    manifest = store.manifest
+    with store:
+        meta_names = sorted(store._meta)
+        references = sorted(store.references())
+    payload = {
+        "path": str(store.path),
+        "layout_version": manifest.layout_version,
+        "epoch": manifest.epoch,
+        "geometry": {
+            "classes": manifest.num_classes,
+            "layers": manifest.num_layers,
+            "dim": manifest.dim,
+        },
+        "dtype": manifest.dtype,
+        "shards": [
+            {
+                "file": spec.file,
+                "layers": [spec.layer_lo, spec.layer_hi],
+                "nbytes": spec.nbytes,
+                "sha256": spec.sha256,
+            }
+            for spec in manifest.shards
+        ],
+        "meta_arrays": meta_names,
+        "references": references,
+        "verified": bool(args.verify),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{store.path}: repro-snapshot v{manifest.layout_version}, "
+        f"epoch {manifest.epoch}, "
+        f"{manifest.num_classes} classes x {manifest.num_layers} layers "
+        f"x {manifest.dim} dim, dtype {manifest.dtype}"
+        + (" (checksums verified)" if args.verify else "")
+    )
+    print(f"\n{'shard':28s}{'layers':>10s}{'bytes':>12s}  sha256")
+    for spec in manifest.shards:
+        print(
+            f"{spec.file:28s}{f'{spec.layer_lo}-{spec.layer_hi - 1}':>10s}"
+            f"{spec.nbytes:12,d}  {spec.sha256[:12]}…"
+        )
+    print(f"\nmeta arrays: {', '.join(meta_names)}")
+    return 0
+
+
+def cmd_store_convert(args: argparse.Namespace) -> int:
+    """Convert a legacy npz archive to a snapshot directory."""
+    import numpy as np
+
+    from repro.core.server import GlobalCacheTable
+    from repro.store import write_snapshot
+
+    try:
+        with np.load(args.src) as archive:
+            for key in ("entries", "filled", "class_freq"):
+                if key not in archive:
+                    print(
+                        f"{args.src} is missing array {key!r} — not a "
+                        "save_table archive",
+                        file=sys.stderr,
+                    )
+                    return 1
+            entries = np.asarray(archive["entries"], dtype=np.float64)
+            if entries.ndim != 3:
+                print(
+                    f"entries has shape {entries.shape}, expected (I, L, d)",
+                    file=sys.stderr,
+                )
+                return 1
+            filled = np.asarray(archive["filled"], dtype=bool)
+            class_freq = np.asarray(archive["class_freq"], dtype=np.float64)
+            # Older archives predate the similarity floor; carry over
+            # whichever reference vectors the archive actually has.
+            references = {
+                name: np.asarray(archive[name], dtype=np.float64)
+                for name in archive.files
+                if name.startswith("reference_")
+            }
+    except (OSError, ValueError) as exc:
+        print(f"cannot read archive {args.src}: {exc}", file=sys.stderr)
+        return 1
+    num_classes, num_layers, dim = entries.shape
+    table = GlobalCacheTable(num_classes, num_layers, dim)
+    table.entries = entries
+    table.filled = filled
+    table.class_freq = class_freq
+    manifest = write_snapshot(
+        args.dest,
+        table,
+        references=references,
+        epoch=args.epoch,
+        layers_per_shard=args.layers_per_shard,
+        dtype=args.dtype,
+    )
+    payload = {
+        "src": str(args.src),
+        "dest": str(args.dest),
+        "epoch": manifest.epoch,
+        "dtype": manifest.dtype,
+        "shards": len(manifest.shards),
+        "entries_nbytes": sum(spec.nbytes for spec in manifest.shards),
+        "references": sorted(references),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"wrote {args.dest}: epoch {manifest.epoch}, "
+        f"{len(manifest.shards)} shard(s), dtype {manifest.dtype}, "
+        f"{payload['entries_nbytes']:,d} entry bytes, "
+        f"{len(references)} reference vector(s)"
+    )
+    return 0
+
+
+def cmd_store_diff(args: argparse.Namespace) -> int:
+    """Row-level difference between two snapshots of one table."""
+    from repro.store import (
+        MappedTableStore,
+        SnapshotFormatError,
+        diff_tables,
+        full_rows_nbytes,
+    )
+
+    try:
+        with MappedTableStore(args.base) as base_store, MappedTableStore(
+            args.target
+        ) as target_store:
+            geometry = (
+                base_store.num_classes,
+                base_store.num_layers,
+                base_store.dim,
+            )
+            target_geometry = (
+                target_store.num_classes,
+                target_store.num_layers,
+                target_store.dim,
+            )
+            if geometry != target_geometry:
+                print(
+                    f"snapshots differ in geometry: {geometry} vs "
+                    f"{target_geometry}",
+                    file=sys.stderr,
+                )
+                return 2
+            base_epoch, target_epoch = base_store.epoch, target_store.epoch
+            if base_epoch > target_epoch:
+                base_epoch = target_epoch = 0  # diffing backwards in time
+            delta = diff_tables(
+                base_store.as_table(),
+                target_store.as_table(),
+                base_epoch=base_epoch,
+                target_epoch=target_epoch,
+            )
+    except (SnapshotFormatError, OSError) as exc:
+        print(f"cannot diff snapshots: {exc}", file=sys.stderr)
+        return 1
+    num_classes, num_layers, dim = geometry
+    full_nbytes = full_rows_nbytes(num_classes, num_layers, dim)
+    payload = {
+        "base": str(args.base),
+        "target": str(args.target),
+        "base_epoch": base_store.epoch,
+        "target_epoch": target_store.epoch,
+        "entry_rows_changed": int(delta.entry_rows.size),
+        "freq_rows_changed": int(delta.freq_rows.size),
+        "classes": num_classes,
+        "delta_nbytes": delta.nbytes,
+        "full_copy_nbytes": full_nbytes,
+        "bytes_ratio": round(delta.nbytes / full_nbytes, 4),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{args.base} (epoch {base_store.epoch}) -> {args.target} "
+        f"(epoch {target_store.epoch}):"
+    )
+    print(
+        f"  {delta.entry_rows.size}/{num_classes} entry rows changed, "
+        f"{delta.freq_rows.size}/{num_classes} freq rows changed"
+    )
+    print(
+        f"  delta would ship {delta.nbytes:,d} bytes "
+        f"({100 * payload['bytes_ratio']:.1f}% of a {full_nbytes:,d}-byte "
+        "full copy)"
+    )
+    return 0
+
+
 def cmd_sweep_theta(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
     thetas = [float(t) for t in args.thetas.split(",") if t.strip()]
@@ -482,6 +686,48 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true",
                       help="emit machine-readable JSON instead of text")
     lint.set_defaults(func=cmd_lint)
+
+    store = sub.add_parser(
+        "store", help="inspect, convert and diff table snapshot stores"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_inspect = store_sub.add_parser(
+        "inspect", help="describe a snapshot directory's manifest"
+    )
+    store_inspect.add_argument("path", help="snapshot directory")
+    store_inspect.add_argument("--verify", action="store_true",
+                               help="recompute every array checksum "
+                                    "(reads all shard bytes)")
+    store_inspect.add_argument("--json", action="store_true",
+                               help="emit machine-readable JSON")
+    store_inspect.set_defaults(func=cmd_store_inspect)
+
+    store_convert = store_sub.add_parser(
+        "convert", help="convert a legacy save_table npz to a snapshot"
+    )
+    store_convert.add_argument("src", help="npz archive written by save_table")
+    store_convert.add_argument("dest", help="snapshot directory to write")
+    store_convert.add_argument("--layers-per-shard", dest="layers_per_shard",
+                               type=int, default=8,
+                               help="cache layers per shard file")
+    store_convert.add_argument("--dtype", default=None,
+                               choices=("float64", "float32"),
+                               help="entry storage dtype (default: float64)")
+    store_convert.add_argument("--epoch", type=int, default=None,
+                               help="snapshot epoch (default: auto-increment)")
+    store_convert.add_argument("--json", action="store_true",
+                               help="emit machine-readable JSON")
+    store_convert.set_defaults(func=cmd_store_convert)
+
+    store_diff = store_sub.add_parser(
+        "diff", help="row-level difference between two snapshots"
+    )
+    store_diff.add_argument("base", help="older snapshot directory")
+    store_diff.add_argument("target", help="newer snapshot directory")
+    store_diff.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON")
+    store_diff.set_defaults(func=cmd_store_diff)
     return parser
 
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.cluster.node import EdgeServerNode
 from repro.cluster.sharding import ShardedGlobalCache
+from repro.store.delta import HEADER_NBYTES, full_rows_nbytes
 
 ASSIGNMENT_POLICIES = ("hash", "region", "least-loaded")
 
@@ -125,6 +126,13 @@ class ClusterCoordinator:
         sync_interval: rounds between cross-shard replica refreshes
             (1 = refresh every round, i.e. no cross-shard staleness at
             round boundaries).
+        delta_sync: ship per-row :class:`~repro.store.delta.SnapshotDelta`
+            payloads for remote shards instead of full row copies.
+            Bit-identical replicas either way (the delta covers every
+            stamped row); deltas just ship fewer bytes when few rows
+            changed since the node's last sync.
+        delta_fallback_fraction: entry-dirty fraction of a shard above
+            which a delta degenerates to the full-snapshot fallback.
     """
 
     def __init__(
@@ -132,6 +140,8 @@ class ClusterCoordinator:
         sharded: ShardedGlobalCache,
         nodes: list[EdgeServerNode],
         sync_interval: int = 1,
+        delta_sync: bool = True,
+        delta_fallback_fraction: float = 0.5,
     ) -> None:
         if len(nodes) != sharded.num_shards:
             raise ValueError(
@@ -140,16 +150,41 @@ class ClusterCoordinator:
             )
         if sync_interval < 1:
             raise ValueError(f"sync_interval must be >= 1, got {sync_interval}")
+        if not 0.0 < delta_fallback_fraction <= 1.0:
+            raise ValueError(
+                f"delta_fallback_fraction must be in (0, 1], got "
+                f"{delta_fallback_fraction}"
+            )
         self.sharded = sharded
         self.nodes = nodes
         self.sync_interval = int(sync_interval)
+        self.delta_sync = bool(delta_sync)
+        self.delta_fallback_fraction = float(delta_fallback_fraction)
         self.rounds_since_sync = 0
         self.syncs_performed = 0
+        #: Bytes shipped for remote-shard rows across all syncs so far.
+        self.sync_bytes_shipped = 0
+        #: Remote-shard transfers served as row deltas / full fallbacks.
+        self.delta_syncs = 0
+        self.full_syncs = 0
+        # Last sharded-cache epoch each (node, shard) replica was synced
+        # at; -1 = never, so a node's first cross-shard pull is always
+        # the full fallback regardless of how its replica was seeded.
+        self._synced_epoch = np.full(
+            (len(nodes), sharded.num_shards), -1, dtype=np.int64
+        )
 
     def refresh_local_shards(self) -> None:
         """Refresh every node's rows of its *own* hosted shard (each round)."""
         for node in self.nodes:
             self.sharded.sync_into(node.server.table, shards=[node.node_id])
+            self._synced_epoch[node.node_id, node.node_id] = self.sharded.epoch
+
+    def _full_copy_nbytes(self, shard_id: int) -> int:
+        owned = int(self.sharded.router.shard_sizes()[shard_id])
+        return HEADER_NBYTES + full_rows_nbytes(
+            owned, self.sharded.num_layers, self.sharded.dim
+        )
 
     def sync_all(self) -> None:
         """Pull every shard's rows into every replica (cross-shard sync).
@@ -162,12 +197,39 @@ class ClusterCoordinator:
         The sync cannot start before every shard's pending writes have
         finished (the latest node CPU horizon), so no replica ever
         observes a remote row earlier than the merge that produced it.
+
+        A node's own shard is co-located (no bytes cross the network);
+        remote shards ship either full row copies or
+        :class:`~repro.store.delta.SnapshotDelta` payloads depending on
+        :attr:`delta_sync`, accounted in :attr:`sync_bytes_shipped`.
         """
         remote = self.sharded.num_shards - 1
         writes_done_ms = max(node.clock.now_ms for node in self.nodes)
+        epoch = self.sharded.epoch
         for node in self.nodes:
-            self.sharded.sync_into(node.server.table)
-            node.serve_sync(remote, arrival_ms=writes_done_ms)
+            payload = 0
+            for shard_id in range(self.sharded.num_shards):
+                own = shard_id == node.node_id
+                if own or not self.delta_sync:
+                    self.sharded.sync_into(node.server.table, shards=[shard_id])
+                    if not own:
+                        payload += self._full_copy_nbytes(shard_id)
+                        self.full_syncs += 1
+                else:
+                    delta = self.sharded.sync_delta_into(
+                        node.server.table,
+                        shard_id,
+                        since_epoch=int(self._synced_epoch[node.node_id, shard_id]),
+                        fallback_fraction=self.delta_fallback_fraction,
+                    )
+                    payload += delta.nbytes
+                    if delta.full:
+                        self.full_syncs += 1
+                    else:
+                        self.delta_syncs += 1
+                self._synced_epoch[node.node_id, shard_id] = epoch
+            self.sync_bytes_shipped += payload
+            node.serve_sync(remote, arrival_ms=writes_done_ms, payload_bytes=payload)
         self.rounds_since_sync = 0
         self.syncs_performed += 1
 

@@ -107,6 +107,7 @@ class EdgeServerNode:
         self.requests_served = 0
         self.merges_served = 0
         self.syncs_served = 0
+        self.sync_payload_bytes = 0
         self.total_wait_ms = 0.0
         self.total_busy_ms = 0.0
 
@@ -163,7 +164,10 @@ class EdgeServerNode:
         return finish
 
     def serve_sync(
-        self, num_remote_shards: int, arrival_ms: float | None = None
+        self,
+        num_remote_shards: int,
+        arrival_ms: float | None = None,
+        payload_bytes: int = 0,
     ) -> float:
         """Charge one cross-shard replica refresh; returns the finish time.
 
@@ -173,13 +177,22 @@ class EdgeServerNode:
         finished, so a replica never receives rows earlier than the merge
         that produced them.  Refreshing the co-located shard is free, so
         a 1-shard cluster charges nothing here.
+
+        ``payload_bytes`` is pure telemetry — the bytes this refresh
+        shipped for remote rows (full copies or delta rows), accumulated
+        in :attr:`sync_payload_bytes`.  It deliberately does not change
+        the timing model, so delta sync alters bandwidth accounting
+        without perturbing the virtual-time results of existing runs.
         """
         if num_remote_shards < 0:
             raise ValueError(
                 f"num_remote_shards must be >= 0, got {num_remote_shards}"
             )
+        if payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be >= 0, got {payload_bytes}")
         if num_remote_shards == 0:
             return self.clock.now_ms
+        self.sync_payload_bytes += int(payload_bytes)
         arrival = self.clock.now_ms if arrival_ms is None else arrival_ms
         _, finish = self._occupy(
             arrival, self.sync_service_ms * num_remote_shards

@@ -23,9 +23,15 @@ label spaces — land on different shards).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
+from repro import contracts
 from repro.core.server import GlobalCacheTable, unpack_update_entries
+
+if TYPE_CHECKING:
+    from repro.store.delta import SnapshotDelta
 
 
 class ClassShardRouter:
@@ -150,6 +156,16 @@ class ShardedGlobalCache:
         self._owned_masks = [
             router.owned_mask(shard_id) for shard_id in range(router.num_shards)
         ]
+        # Write-epoch bookkeeping for delta sync: ``_epoch`` counts
+        # uploads applied through :meth:`apply_client_update`, and the
+        # per-(shard, class) stamp arrays record the epoch of each row's
+        # last entry write / frequency accumulation.  A replica synced at
+        # epoch ``e`` catches up by receiving exactly the rows stamped
+        # ``> e`` — see :meth:`snapshot_delta`.
+        self._epoch = 0
+        shape = (router.num_shards, router.num_classes)
+        self._entry_epoch = np.full(shape, -1, dtype=np.int64)
+        self._freq_epoch = np.full(shape, -1, dtype=np.int64)
 
     @property
     def num_shards(self) -> int:
@@ -158,6 +174,11 @@ class ShardedGlobalCache:
     @property
     def num_classes(self) -> int:
         return self.router.num_classes
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic write epoch: uploads applied so far."""
+        return self._epoch
 
     def apply_client_update(
         self,
@@ -185,6 +206,7 @@ class ShardedGlobalCache:
                 f"frequency vector shape {local_freq.shape} != "
                 f"({self.num_classes},)"
             )
+        self._epoch += 1
         touched: dict[int, int] = {}
         if update_entries:
             ids, layers, vectors = unpack_update_entries(update_entries)
@@ -199,8 +221,17 @@ class ShardedGlobalCache:
                     gamma,
                 )
                 touched[int(shard_id)] = int(piece.sum())
-        for shard, mask in zip(self.shards, self._owned_masks):
+                # Stamp conservatively: rows the merge filtered out as
+                # inactive are still stamped — a delta may over-ship an
+                # unchanged row, never miss a changed one.
+                self._entry_epoch[shard_id, ids[piece]] = self._epoch
+        for shard_id, (shard, mask) in enumerate(
+            zip(self.shards, self._owned_masks)
+        ):
             shard.add_frequencies(np.where(mask, local_freq, 0.0))
+            # Only rows with positive round frequency change value
+            # (adding +0.0 is bit-identical for the non-negative Phi).
+            self._freq_epoch[shard_id, mask & (local_freq > 0.0)] = self._epoch
         return touched
 
     def sync_into(
@@ -227,6 +258,109 @@ class ShardedGlobalCache:
             replica.entries[rows] = source.entries[rows]
             replica.filled[rows] = source.filled[rows]
             replica.class_freq[rows] = source.class_freq[rows]
+
+    def snapshot_delta(
+        self,
+        shard_id: int,
+        since_epoch: int,
+        fallback_fraction: float = 0.5,
+    ) -> "SnapshotDelta":
+        """The rows of one shard a replica synced at ``since_epoch`` misses.
+
+        Entry-dirty rows (entry-epoch stamp ``> since_epoch``) ship their
+        full ``(L, d)`` centroid rows plus fill-mask rows; freq-dirty
+        rows ship Phi scalars only.  When the replica has no usable base
+        (``since_epoch < 0``) or the entry-dirty fraction of the owned
+        rows exceeds ``fallback_fraction``, the delta degenerates to the
+        full-snapshot fallback carrying every owned row.
+
+        Applying the returned delta to a replica whose owned rows matched
+        this shard at ``since_epoch`` reproduces
+        :meth:`sync_into`'s result bit-for-bit: both paths assign the
+        shard's current bytes, and stamps are written conservatively (a
+        stamped-but-unchanged row re-ships its identical bytes; a changed
+        row is always stamped).
+        """
+        from repro.store.delta import SnapshotDelta
+
+        owned = self.router.classes_of(shard_id)
+        source = self.shards[shard_id]
+        entry_dirty = owned[self._entry_epoch[shard_id, owned] > since_epoch]
+        freq_dirty = owned[self._freq_epoch[shard_id, owned] > since_epoch]
+        full = (
+            since_epoch < 0
+            or entry_dirty.size > fallback_fraction * owned.size
+        )
+        if full:
+            entry_dirty = owned
+            freq_dirty = owned
+        return SnapshotDelta(
+            shard_id=shard_id,
+            base_epoch=since_epoch,
+            target_epoch=self._epoch,
+            full=full,
+            entry_rows=entry_dirty,
+            entries=source.entries[entry_dirty],
+            filled=source.filled[entry_dirty],
+            freq_rows=freq_dirty,
+            freqs=source.class_freq[freq_dirty],
+        )
+
+    def sync_delta_into(
+        self,
+        replica: GlobalCacheTable,
+        shard_id: int,
+        since_epoch: int,
+        fallback_fraction: float = 0.5,
+    ) -> "SnapshotDelta":
+        """Catch a replica up on one shard by shipping only dirty rows.
+
+        The delta-sync counterpart of ``sync_into(replica, [shard_id])``:
+        bit-identical result, a fraction of the bytes when few owned rows
+        changed since ``since_epoch``.  Returns the applied delta so the
+        caller can account shipped bytes (:attr:`SnapshotDelta.nbytes`).
+        """
+        if (
+            replica.num_classes != self.num_classes
+            or replica.num_layers != self.num_layers
+            or replica.dim != self.dim
+        ):
+            raise ValueError("replica geometry does not match the sharded cache")
+        delta = self.snapshot_delta(
+            shard_id, since_epoch, fallback_fraction=fallback_fraction
+        )
+        if contracts.ENABLED and not delta.full:
+            # Value-level dirty rows (replica vs shard) must be covered
+            # by the shipped delta — a changed row outside it would be a
+            # silently missed write.
+            owned = self.router.classes_of(shard_id)
+            source = self.shards[shard_id]
+            entries_differ = (
+                replica.entries[owned] != source.entries[owned]
+            ).any(axis=(1, 2))
+            filled_differ = (
+                replica.filled[owned] != source.filled[owned]
+            ).any(axis=1)
+            changed_entries = owned[entries_differ | filled_differ]
+            changed_freqs = owned[
+                replica.class_freq[owned] != source.class_freq[owned]
+            ]
+            stamped_entries = owned[
+                self._entry_epoch[shard_id, owned] > since_epoch
+            ]
+            stamped_freqs = owned[
+                self._freq_epoch[shard_id, owned] > since_epoch
+            ]
+            contracts.check_delta_apply(
+                delta.entry_rows,
+                delta.freq_rows,
+                stamped_entries,
+                stamped_freqs,
+                changed_entry_rows=changed_entries,
+                changed_freq_rows=changed_freqs,
+            )
+        delta.apply(replica)
+        return delta
 
     def merged_table(self) -> GlobalCacheTable:
         """The equivalent single-server table (owned rows of every shard)."""

@@ -16,7 +16,11 @@ conventions exist to protect, at the moments they can actually break:
 * :class:`VirtualClock` monotonicity (virtual time never runs backwards,
   not even by float error);
 * workspace buffer aliasing — the views a probe kernel writes through
-  ``out=`` must be pairwise disjoint, or results are silently corrupted.
+  ``out=`` must be pairwise disjoint, or results are silently corrupted;
+* snapshot-store integrity — manifest checksums match the stored bytes,
+  epochs stay monotonic, geometry matches the model, and a shipped
+  :class:`~repro.store.delta.SnapshotDelta` covers exactly the dirty
+  row set (a changed row outside the delta is a silent divergence).
 
 Contracts are **off by default** (every check site is one truthy test of
 :data:`ENABLED`).  Set ``REPRO_CONTRACTS=1`` in the environment before
@@ -41,11 +45,13 @@ __all__ = [
     "activated",
     "check_candidate_ids",
     "check_clock_monotonic",
+    "check_delta_apply",
     "check_distinct_views",
     "check_layer_entries",
     "check_merge_flat_indices",
     "check_merged_rows_normalized",
     "check_quantized_tier",
+    "check_snapshot_manifest",
     "enabled",
     "require",
     "set_enabled",
@@ -280,6 +286,104 @@ def check_merged_rows_normalized(
         worst <= _NORM_ATOL,
         f"merged table row norm off unit by {worst:.2e} (> {_NORM_ATOL:.0e})",
     )
+
+
+# ----------------------------------------------------------------------
+# Snapshot-store contracts
+# ----------------------------------------------------------------------
+
+def check_snapshot_manifest(
+    layout_version: int,
+    epoch: int,
+    geometry: tuple[int, int, int],
+    expected_geometry: tuple[int, int, int] | None,
+    checksums: dict[str, str],
+    recomputed: dict[str, str],
+    previous_epoch: int | None = None,
+) -> None:
+    """Invariants of a snapshot manifest against its stored arrays.
+
+    Takes plain data (no store types) so this module stays dependency
+    free: the caller supplies the manifest's recorded checksums and the
+    freshly recomputed ones, its geometry, and — at a load site — the
+    model geometry the snapshot must match.
+
+    Checks: a supported layout version, a non-negative epoch that is
+    strictly larger than ``previous_epoch`` when rewriting an existing
+    snapshot (epoch monotonicity), geometry agreement with the model,
+    and a recomputed checksum equal to the recorded one per array.
+    """
+    require(
+        layout_version >= 1,
+        f"snapshot layout version must be >= 1, got {layout_version}",
+    )
+    require(epoch >= 0, f"snapshot epoch must be >= 0, got {epoch}")
+    if previous_epoch is not None:
+        require(
+            epoch > previous_epoch,
+            f"snapshot epoch is not monotonic: {previous_epoch} -> {epoch}",
+        )
+    if expected_geometry is not None:
+        require(
+            tuple(geometry) == tuple(expected_geometry),
+            f"snapshot geometry {tuple(geometry)} does not match the "
+            f"model geometry {tuple(expected_geometry)}",
+        )
+    for name, recorded in checksums.items():
+        actual = recomputed.get(name)
+        require(
+            actual is not None,
+            f"snapshot array {name} has no recomputed checksum",
+        )
+        require(
+            actual == recorded,
+            f"snapshot array {name} fails its checksum: manifest records "
+            f"{recorded[:12]}, stored bytes hash to {str(actual)[:12]}",
+        )
+
+
+def check_delta_apply(
+    delta_entry_rows: np.ndarray,
+    delta_freq_rows: np.ndarray,
+    dirty_entry_rows: np.ndarray,
+    dirty_freq_rows: np.ndarray,
+    changed_entry_rows: np.ndarray | None = None,
+    changed_freq_rows: np.ndarray | None = None,
+) -> None:
+    """A shipped snapshot delta must cover exactly the dirty row set.
+
+    ``dirty_*`` are the rows the shard's epoch bookkeeping marks dirty
+    since the receiver's base epoch; ``changed_*`` (optional, computed
+    by the caller by value comparison *before* applying) are the rows
+    where replica and shard actually differed.  The delta's rows must
+    equal the dirty set, and every actually-changed row must be shipped
+    — a changed row outside the delta means the epoch tracking missed a
+    write and the replica would silently diverge.
+    """
+    require(
+        np.array_equal(np.sort(delta_entry_rows), np.sort(dirty_entry_rows)),
+        f"delta ships {delta_entry_rows.size} entry rows but the dirty "
+        f"set has {dirty_entry_rows.size} (sets differ)",
+    )
+    require(
+        np.array_equal(np.sort(delta_freq_rows), np.sort(dirty_freq_rows)),
+        f"delta ships {delta_freq_rows.size} freq rows but the dirty "
+        f"set has {dirty_freq_rows.size} (sets differ)",
+    )
+    if changed_entry_rows is not None and changed_entry_rows.size:
+        missed = np.setdiff1d(changed_entry_rows, delta_entry_rows)
+        require(
+            missed.size == 0,
+            f"delta misses {missed.size} entry rows that actually "
+            f"changed (first: {missed[:5].tolist() if missed.size else []})",
+        )
+    if changed_freq_rows is not None and changed_freq_rows.size:
+        missed = np.setdiff1d(changed_freq_rows, delta_freq_rows)
+        require(
+            missed.size == 0,
+            f"delta misses {missed.size} freq rows that actually changed "
+            f"(first: {missed[:5].tolist() if missed.size else []})",
+        )
 
 
 # ----------------------------------------------------------------------

@@ -496,6 +496,11 @@ class SemanticCache:
         # calibrated by the server from true-hit similarities on the
         # shared dataset — closes exactly that hole.
         self._similarity_floor: dict[int, float] = {}
+        #: Layers whose centroid matrix is a borrowed read-only view
+        #: (e.g. an mmap slice owned by a snapshot store) instead of a
+        #: private copy.  A view layer is promoted to RAM by the first
+        #: :meth:`set_layer_entries` write.
+        self._view_layers: set[int] = set()
 
     # ------------------------------------------------------------------
     # Content management
@@ -524,6 +529,7 @@ class SemanticCache:
             self._indexes.pop(layer, None)
             self._quantized.pop(layer, None)
             self._positions.pop(layer, None)
+            self._view_layers.discard(layer)
             return
         if np.unique(ids).size != ids.size:
             raise ValueError("duplicate class ids in one cache layer")
@@ -534,12 +540,75 @@ class SemanticCache:
             raise ValueError("cannot cache a zero centroid")
         stored = np.ascontiguousarray(mat / norms, dtype=self.dtype)
         self._layers[layer] = (ids.copy(), stored)
+        # A write replaces any borrowed view: the layer now owns a
+        # private RAM copy (the promotion contract of mapped serving).
+        self._view_layers.discard(layer)
         if contracts.ENABLED:
             contracts.check_layer_entries(
                 layer, ids, stored, self.dtype, self.num_classes
             )
         self._refresh_index(layer, ids, stored)
         self._refresh_quantized(layer, stored)
+        self._refresh_positions(layer, ids)
+
+    def set_layer_view(
+        self, layer: int, class_ids: np.ndarray, centroids: np.ndarray
+    ) -> None:
+        """Point one cache layer at a borrowed read-only centroid matrix.
+
+        Unlike :meth:`set_layer_entries`, the matrix is **not** copied or
+        re-normalized: the cache stores a read-only view of ``centroids``
+        (typically an mmap slice owned by a
+        :class:`~repro.store.reader.MappedTableStore`), so untouched
+        layer blocks are only faulted in from disk when a probe first
+        reaches them.  Rows must therefore already be unit-normalized —
+        true for any layer written by the snapshot writer, whose source
+        tables keep merged rows normalized.  The first
+        :meth:`set_layer_entries` write to the layer replaces the view
+        with a private RAM copy.
+
+        Args:
+            layer: cache-layer index.
+            class_ids: integer array of shape ``(n,)``.
+            centroids: C-contiguous array of shape ``(n, d)`` whose dtype
+                equals the cache dtype (no silent conversion — a cast
+                would copy and defeat the mapping).
+        """
+        ids = np.asarray(class_ids, dtype=int)
+        mat = np.asarray(centroids)
+        if ids.ndim != 1 or mat.ndim != 2 or ids.shape[0] != mat.shape[0]:
+            raise ValueError(
+                f"shape mismatch: ids {ids.shape}, centroids {mat.shape}"
+            )
+        if ids.size == 0:
+            self._layers.pop(layer, None)
+            self._indexes.pop(layer, None)
+            self._quantized.pop(layer, None)
+            self._positions.pop(layer, None)
+            self._view_layers.discard(layer)
+            return
+        if mat.dtype != self.dtype:
+            raise ValueError(
+                f"view dtype {mat.dtype} does not match cache dtype "
+                f"{self.dtype}; converting would copy — use "
+                f"set_layer_entries for owned storage"
+            )
+        if not mat.flags.c_contiguous:
+            raise ValueError("a layer view must be C-contiguous")
+        if np.unique(ids).size != ids.size:
+            raise ValueError("duplicate class ids in one cache layer")
+        if np.any(ids < 0) or np.any(ids >= self.num_classes):
+            raise ValueError("class id out of range")
+        view = mat.view()
+        view.flags.writeable = False
+        self._layers[layer] = (ids.copy(), view)
+        self._view_layers.add(layer)
+        if contracts.ENABLED:
+            contracts.check_layer_entries(
+                layer, ids, view, self.dtype, self.num_classes
+            )
+        self._refresh_index(layer, ids, view)
+        self._refresh_quantized(layer, view)
         self._refresh_positions(layer, ids)
 
     def _refresh_index(
@@ -608,6 +677,14 @@ class SemanticCache:
         deepest."""
         return sorted(set(self._indexes) | set(self._quantized))
 
+    def view_backed_layers(self) -> list[int]:
+        """Layers served from borrowed read-only views (mapped storage)."""
+        return sorted(self._view_layers)
+
+    def is_view_backed(self, layer: int) -> bool:
+        """Whether a layer's centroids are a borrowed read-only view."""
+        return layer in self._view_layers
+
     def quantized_tier(self, layer: int) -> QuantizedTier | None:
         """The layer's quantized companion storage (``None`` when the
         layer is below the threshold or quantization is disabled)."""
@@ -635,6 +712,7 @@ class SemanticCache:
         self._quantized.clear()
         self._positions.clear()
         self._similarity_floor.clear()
+        self._view_layers.clear()
 
     @property
     def active_layers(self) -> list[int]:

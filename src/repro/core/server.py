@@ -28,6 +28,7 @@ objects anywhere on the server.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,9 @@ from repro.core.cache import LookupWorkspace, SemanticCache
 from repro.core.config import CoCaConfig
 from repro.data.stream import StreamGenerator
 from repro.models.base import SimulatedModel
+
+if TYPE_CHECKING:
+    from repro.store.format import SnapshotManifest
 
 _EPS = 1e-12
 
@@ -55,6 +59,63 @@ def unpack_update_entries(
     keys = np.array(list(update_entries.keys()), dtype=int)
     vectors = np.stack(list(update_entries.values()))
     return keys[:, 0], keys[:, 1], vectors
+
+
+def scatter_merge(
+    entries_rows: np.ndarray,
+    filled_rows: np.ndarray,
+    rows: np.ndarray,
+    global_freqs: np.ndarray,
+    new: np.ndarray,
+    freqs: np.ndarray,
+    gamma: float,
+) -> None:
+    """The Eq. 4 scatter core over one 2-D row storage.
+
+    Shared verbatim by the flat ``(class, layer)`` path of
+    :meth:`GlobalCacheTable.merge_updates` (``entries_rows`` = the table
+    reshaped to ``(I * L, d)``) and the per-layer path of
+    :class:`~repro.store.mapped.MappedGlobalCacheTable` (``entries_rows``
+    = one promoted ``(I, d)`` layer block) — every operation is
+    element-wise per row, so splitting a batch by layer produces
+    bit-identical entries.
+
+    Args:
+        entries_rows: ``(S, d)`` row storage scattered into, in place.
+        filled_rows: ``(S,)`` bool fill flags (may be a strided view).
+        rows: ``(k,)`` unique row indices of the update entries.
+        global_freqs: ``(k,)`` Phi of each entry's class *before* Eq. 5.
+        new: ``(k, d)`` uploaded centroid vectors.
+        freqs: ``(k,)`` positive local frequencies.
+        gamma: Eq. 4 decay of the old entry.
+    """
+    if contracts.ENABLED:
+        contracts.check_merge_flat_indices(rows, entries_rows.shape[0])
+    norms = np.sqrt(np.einsum("kd,kd->k", new, new))
+    filled = filled_rows[rows]
+
+    install = ~filled & (norms >= _EPS)
+    if install.any():
+        idx = rows[install]
+        entries_rows[idx] = new[install] / norms[install, None]
+        filled_rows[idx] = True
+
+    if filled.any():
+        idx = rows[filled]
+        global_freq = global_freqs[filled]
+        denom = global_freq + freqs[filled]
+        old = entries_rows[idx]
+        merged = (
+            gamma * (global_freq / denom)[:, None] * old
+            + (freqs[filled] / denom)[:, None] * new[filled]
+        )
+        merged_norms = np.sqrt(np.einsum("kd,kd->k", merged, merged))
+        ok = merged_norms >= _EPS
+        entries_rows[idx[ok]] = merged[ok] / merged_norms[ok, None]
+
+    if contracts.ENABLED:
+        touched = rows[filled_rows[rows]]
+        contracts.check_merged_rows_normalized(entries_rows, touched)
 
 
 class GlobalCacheTable:
@@ -76,13 +137,28 @@ class GlobalCacheTable:
         self.filled = np.zeros((num_classes, num_layers), dtype=bool)
         self.class_freq = np.zeros(num_classes)  # Phi
 
+    def layer_entries(self, layer: int) -> np.ndarray:
+        """One layer's ``(I, d)`` centroid block (a view).
+
+        The layout-agnostic accessor: callers that go through it (the
+        snapshot writer, :meth:`subtable`) work unchanged on a
+        memory-mapped table, which overrides this to hand out lazy
+        shard views instead of slices of :attr:`entries`.
+        """
+        return self.entries[:, layer, :]
+
+    def _writable_layer(self, layer: int) -> np.ndarray:
+        """The mutable counterpart of :meth:`layer_entries` — the hook a
+        copy-on-write subclass uses to promote a layer before a write."""
+        return self.entries[:, layer, :]
+
     def install(self, class_id: int, layer: int, vector: np.ndarray) -> None:
         """Set an entry directly (initialization from the shared dataset)."""
         vec = np.asarray(vector, dtype=float)
         norm = np.linalg.norm(vec)
         if norm < _EPS:
             raise ValueError("cannot install a zero centroid")
-        self.entries[class_id, layer] = vec / norm
+        self._writable_layer(layer)[class_id] = vec / norm
         self.filled[class_id, layer] = True
 
     def merge_update(
@@ -106,13 +182,13 @@ class GlobalCacheTable:
             return
         global_freq = self.class_freq[class_id]
         denom = global_freq + local_freq
-        old = self.entries[class_id, layer]
+        old = self.layer_entries(layer)[class_id]
         merged = (
             gamma * (global_freq / denom) * old + (local_freq / denom) * new
         )
         norm = np.linalg.norm(merged)
         if norm >= _EPS:
-            self.entries[class_id, layer] = merged / norm
+            self._writable_layer(layer)[class_id] = merged / norm
 
     def merge_updates(
         self,
@@ -131,6 +207,33 @@ class GlobalCacheTable:
         a flat ``(class, layer)`` index.  Keys must be unique (one update
         table never holds two entries for the same key).
         """
+        prepared = self._prepare_merge(
+            class_ids, layers, update_vectors, local_freqs
+        )
+        if prepared is None:
+            return
+        ids, lays, new, freqs = prepared
+        flat = ids * self.num_layers + lays
+        scatter_merge(
+            self.entries.reshape(-1, self.dim),
+            self.filled.reshape(-1),
+            flat,
+            self.class_freq[ids],
+            new,
+            freqs,
+            gamma,
+        )
+
+    def _prepare_merge(
+        self,
+        class_ids: np.ndarray,
+        layers: np.ndarray,
+        update_vectors: np.ndarray,
+        local_freqs: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """Validate one merge batch; returns the active entries or
+        ``None`` when nothing is left to merge (shared by the flat-index
+        and the per-layer copy-on-write merge paths)."""
         ids = np.asarray(class_ids, dtype=int)
         lays = np.asarray(layers, dtype=int)
         new = np.asarray(update_vectors, dtype=float)
@@ -146,7 +249,7 @@ class GlobalCacheTable:
                 f"vectors {new.shape}, freqs {freqs.shape}"
             )
         if ids.size == 0:
-            return
+            return None
         if np.any(ids < 0) or np.any(ids >= self.num_classes):
             raise ValueError("class id out of range")
         if np.any(lays < 0) or np.any(lays >= self.num_layers):
@@ -157,40 +260,15 @@ class GlobalCacheTable:
         if np.any(freqs < 0):
             raise ValueError("local_freq must be >= 0")
         active = freqs > 0
-        flat, ids, new, freqs = flat[active], ids[active], new[active], freqs[active]
+        ids, lays, new, freqs = (
+            ids[active],
+            lays[active],
+            new[active],
+            freqs[active],
+        )
         if ids.size == 0:
-            return
-        if contracts.ENABLED:
-            contracts.check_merge_flat_indices(
-                flat, self.num_classes * self.num_layers
-            )
-        entries_flat = self.entries.reshape(-1, self.dim)
-        filled_flat = self.filled.reshape(-1)
-        norms = np.sqrt(np.einsum("kd,kd->k", new, new))
-        filled = filled_flat[flat]
-
-        install = ~filled & (norms >= _EPS)
-        if install.any():
-            rows = flat[install]
-            entries_flat[rows] = new[install] / norms[install, None]
-            filled_flat[rows] = True
-
-        if filled.any():
-            rows = flat[filled]
-            global_freq = self.class_freq[ids[filled]]
-            denom = global_freq + freqs[filled]
-            old = entries_flat[rows]
-            merged = (
-                gamma * (global_freq / denom)[:, None] * old
-                + (freqs[filled] / denom)[:, None] * new[filled]
-            )
-            merged_norms = np.sqrt(np.einsum("kd,kd->k", merged, merged))
-            ok = merged_norms >= _EPS
-            entries_flat[rows[ok]] = merged[ok] / merged_norms[ok, None]
-
-        if contracts.ENABLED:
-            touched = flat[filled_flat[flat]]
-            contracts.check_merged_rows_normalized(entries_flat, touched)
+            return None
+        return ids, lays, new, freqs
 
     def add_frequencies(self, local_freq: np.ndarray) -> None:
         """Eq. 5: accumulate a client's round frequencies into Phi."""
@@ -219,7 +297,9 @@ class GlobalCacheTable:
             usable = np.asarray(ids)[mask]
             if usable.size == 0:
                 continue
-            out[layer] = (usable, self.entries[usable, layer].copy())
+            # Fancy-indexing the layer block yields a fresh array (and
+            # faults in only these rows on a memory-mapped table).
+            out[layer] = (usable, np.asarray(self.layer_entries(layer)[usable]))
         return out
 
 
@@ -619,19 +699,72 @@ class CoCaServer:
             reference_similarity_floor=self.reference_similarity_floor,
         )
 
-    def load_table(self, path: str | Path) -> None:
-        """Restore a global cache table saved by :meth:`save_table`.
+    def save_snapshot(
+        self,
+        path: str | Path,
+        epoch: int | None = None,
+        layers_per_shard: int = 8,
+    ) -> "SnapshotManifest":
+        """Persist the table as a mmap-ready snapshot directory.
 
-        Every array is validated against this server's model geometry
-        (class count, layer count, feature dim) and expected dtype before
-        any state is mutated, so a mismatched archive can never corrupt
-        the server halfway through a load.
+        The sharded counterpart of :meth:`save_table`: a JSON manifest
+        plus per-layer-block ``.npy`` shards (see :mod:`repro.store`),
+        carrying the calibrated reference vectors in the snapshot's meta
+        arrays.  Restores warm in O(ms) through
+        ``load_table(path, mode="mmap")``.  Returns the written manifest.
+        """
+        from repro.store.writer import write_snapshot
+
+        return write_snapshot(
+            path,
+            self.table,
+            references={
+                "reference_hit_ratio": self.reference_hit_ratio,
+                "reference_hit_accuracy": self.reference_hit_accuracy,
+                "reference_exit_loss": self.reference_exit_loss,
+                "reference_similarity_floor": self.reference_similarity_floor,
+            },
+            epoch=epoch,
+            layers_per_shard=layers_per_shard,
+        )
+
+    def load_table(self, path: str | Path, mode: str = "ram") -> None:
+        """Restore a global cache table from either persistence format.
+
+        The format is auto-detected: a directory with a snapshot
+        manifest loads through :mod:`repro.store`; anything else is a
+        legacy :meth:`save_table` npz archive.  Every array is validated
+        against this server's model geometry (class count, layer count,
+        feature dim) and expected dtype before any state is mutated, so
+        a mismatched archive can never corrupt the server halfway
+        through a load.
+
+        Args:
+            path: snapshot directory or npz archive.
+            mode: ``"ram"`` materializes the table eagerly (the legacy
+                behaviour, and the only mode npz archives support);
+                ``"mmap"`` maps snapshot shards read-only in O(ms) —
+                centroid bytes are faulted in on first use and a layer
+                is promoted to a RAM copy only when first written
+                (:class:`~repro.store.mapped.MappedGlobalCacheTable`).
 
         Raises:
-            ValueError: naming the offending archive key when an array is
-                missing or its shape/dtype does not match.
+            ValueError: naming the offending array when anything is
+                missing or mismatched, or when ``mode="mmap"`` is asked
+                of an npz archive.
         """
-        archive = np.load(path)
+        if mode not in ("ram", "mmap"):
+            raise ValueError(f'mode must be "ram" or "mmap", got {mode!r}')
+        from repro.store.format import is_snapshot_path
+
+        if is_snapshot_path(path):
+            self._load_snapshot(Path(path), mode)
+            return
+        if mode == "mmap":
+            raise ValueError(
+                "mode='mmap' needs a snapshot-store directory; convert "
+                "the npz archive first (repro store convert)"
+            )
         num_layers = self.model.num_cache_layers
         expected: dict[str, tuple[tuple[int, ...], type]] = {
             "entries": (self.table.entries.shape, np.floating),
@@ -641,30 +774,94 @@ class CoCaServer:
             "reference_hit_accuracy": ((num_layers,), np.floating),
             "reference_exit_loss": ((num_layers,), np.floating),
         }
-        has_floor = "reference_similarity_floor" in archive
-        if has_floor:
-            expected["reference_similarity_floor"] = ((num_layers,), np.floating)
-        validated: dict[str, np.ndarray] = {}
-        for key, (shape, kind) in expected.items():
-            if key not in archive:
-                raise ValueError(f"archive is missing array {key!r}")
-            array = archive[key]
-            if array.shape != shape:
-                raise ValueError(
-                    f"archive array {key!r} has shape {array.shape}, "
-                    f"expected {shape}"
+        # np.load on an npz holds the zip member file open; the context
+        # manager closes it even when validation rejects the archive.
+        with np.load(path) as archive:
+            has_floor = "reference_similarity_floor" in archive
+            if has_floor:
+                expected["reference_similarity_floor"] = (
+                    (num_layers,),
+                    np.floating,
                 )
-            if not np.issubdtype(array.dtype, kind):
-                raise ValueError(
-                    f"archive array {key!r} has dtype {array.dtype}, "
-                    f"expected {np.dtype(kind) if kind is np.bool_ else 'floating'}"
-                )
-            validated[key] = array
-        self.table.entries = validated["entries"]
-        self.table.filled = validated["filled"]
-        self.table.class_freq = validated["class_freq"]
+            validated: dict[str, np.ndarray] = {}
+            for key, (shape, kind) in expected.items():
+                if key not in archive:
+                    raise ValueError(f"archive is missing array {key!r}")
+                array = archive[key]
+                if array.shape != shape:
+                    raise ValueError(
+                        f"archive array {key!r} has shape {array.shape}, "
+                        f"expected {shape}"
+                    )
+                if not np.issubdtype(array.dtype, kind):
+                    raise ValueError(
+                        f"archive array {key!r} has dtype {array.dtype}, "
+                        f"expected {np.dtype(kind) if kind is np.bool_ else 'floating'}"
+                    )
+                validated[key] = array
+        # A fresh table rather than in-place mutation: the previous table
+        # may be a mapped one whose storage must not be written through.
+        table = GlobalCacheTable(
+            self.table.num_classes, self.table.num_layers, self.table.dim
+        )
+        table.entries = validated["entries"]
+        table.filled = validated["filled"]
+        table.class_freq = validated["class_freq"]
+        self.table = table
         self.reference_hit_ratio = validated["reference_hit_ratio"]
         self.reference_hit_accuracy = validated["reference_hit_accuracy"]
         self.reference_exit_loss = validated["reference_exit_loss"]
         if has_floor:
             self.reference_similarity_floor = validated["reference_similarity_floor"]
+
+    def _load_snapshot(self, path: Path, mode: str) -> None:
+        """Load a :mod:`repro.store` snapshot directory (both modes)."""
+        from repro.store.reader import MappedTableStore
+
+        store = MappedTableStore(path)
+        manifest = store.manifest
+        num_layers = self.model.num_cache_layers
+        expected_geometry = (
+            self.model.num_classes,
+            num_layers,
+            self.model.feature_space.config.dim,
+        )
+        actual = (manifest.num_classes, manifest.num_layers, manifest.dim)
+        if actual != expected_geometry:
+            raise ValueError(
+                f"snapshot geometry {actual} does not match the model's "
+                f"{expected_geometry}"
+            )
+        if contracts.ENABLED:
+            contracts.check_snapshot_manifest(
+                layout_version=manifest.layout_version,
+                epoch=manifest.epoch,
+                geometry=actual,
+                expected_geometry=expected_geometry,
+                checksums={},
+                recomputed={},
+            )
+        references = store.references()
+        for name, vector in references.items():
+            if vector.shape != (num_layers,):
+                raise ValueError(
+                    f"snapshot reference array {name!r} has shape "
+                    f"{vector.shape}, expected ({num_layers},)"
+                )
+        if mode == "ram":
+            self.table = store.as_table()
+            store.close()
+        else:
+            self.table = store.as_mapped_table()
+        self.reference_hit_ratio = references.get(
+            "reference_hit_ratio", np.zeros(num_layers)
+        )
+        self.reference_hit_accuracy = references.get(
+            "reference_hit_accuracy", np.zeros(num_layers)
+        )
+        self.reference_exit_loss = references.get(
+            "reference_exit_loss", np.zeros(num_layers)
+        )
+        self.reference_similarity_floor = references.get(
+            "reference_similarity_floor", np.full(num_layers, -1.0)
+        )

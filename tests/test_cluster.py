@@ -576,3 +576,143 @@ class TestNodeWorkspaceSharing:
             engine = cluster.clients[client_id].batch_engine
             assert engine.workspace is cluster.nodes[node_id].workspace
         assert cluster.nodes[0].workspace is not cluster.nodes[1].workspace
+
+
+# ----------------------------------------------------------------------
+# Delta-based cross-shard sync
+# ----------------------------------------------------------------------
+
+
+class _TableHolder:
+    """Minimal server stand-in: coordinators only touch ``server.table``."""
+
+    def __init__(self, table: GlobalCacheTable) -> None:
+        self.table = table
+
+
+class TestDeltaSync:
+    I, L, D = 60, 6, 8
+
+    def _build(self, delta_sync, num_shards=3, fallback=0.5):
+        router = ClassShardRouter(self.I, num_shards, salt=7)
+        sharded = ShardedGlobalCache(router, num_layers=self.L, dim=self.D)
+        nodes = [
+            EdgeServerNode(i, _TableHolder(GlobalCacheTable(self.I, self.L, self.D)))
+            for i in range(num_shards)
+        ]
+        coord = ClusterCoordinator(
+            sharded,
+            nodes,
+            sync_interval=1,
+            delta_sync=delta_sync,
+            delta_fallback_fraction=fallback,
+        )
+        return sharded, nodes, coord
+
+    def _run_uploads(self, sharded, coord, rounds=6, classes_per_upload=4):
+        rng = np.random.default_rng(42)
+        for _ in range(rounds):
+            for _ in range(2):
+                ids = rng.choice(self.I, size=classes_per_upload, replace=False)
+                update = {
+                    (int(cid), int(rng.integers(self.L))): rng.normal(size=self.D)
+                    for cid in ids
+                }
+                freq = np.zeros(self.I)
+                freq[ids] = rng.integers(1, 5, size=ids.size).astype(float)
+                sharded.apply_client_update(update, freq, gamma=0.99)
+            coord.end_round()
+
+    def test_delta_sync_replicas_bit_identical_to_full(self):
+        s_delta, n_delta, c_delta = self._build(delta_sync=True)
+        s_full, n_full, c_full = self._build(delta_sync=False)
+        self._run_uploads(s_delta, c_delta)
+        self._run_uploads(s_full, c_full)
+        for a, b in zip(n_delta, n_full):
+            assert np.array_equal(a.server.table.entries, b.server.table.entries)
+            assert np.array_equal(a.server.table.filled, b.server.table.filled)
+            assert np.array_equal(
+                a.server.table.class_freq, b.server.table.class_freq
+            )
+        assert np.array_equal(
+            s_delta.merged_table().entries, s_full.merged_table().entries
+        )
+
+    def test_delta_ships_fewer_bytes_when_few_rows_dirty(self):
+        s_delta, _, c_delta = self._build(delta_sync=True)
+        s_full, _, c_full = self._build(delta_sync=False)
+        self._run_uploads(s_delta, c_delta, classes_per_upload=2)
+        self._run_uploads(s_full, c_full, classes_per_upload=2)
+        assert c_delta.sync_bytes_shipped < c_full.sync_bytes_shipped
+        assert c_delta.delta_syncs > 0
+
+    def test_first_sync_is_full_fallback(self):
+        sharded, _, coord = self._build(delta_sync=True)
+        coord.sync_all()
+        remote_transfers = len(coord.nodes) * (sharded.num_shards - 1)
+        assert coord.full_syncs == remote_transfers
+        assert coord.delta_syncs == 0
+
+    def test_fallback_threshold_degrades_to_full(self):
+        # Dirty every class -> dirty fraction 1.0 > any threshold.
+        sharded, _, coord = self._build(delta_sync=True, fallback=0.5)
+        coord.sync_all()  # establish a base epoch everywhere
+        freq = np.ones(self.I)
+        update = {
+            (cid, 0): np.random.default_rng(cid).normal(size=self.D)
+            for cid in range(self.I)
+        }
+        sharded.apply_client_update(update, freq, gamma=0.99)
+        before_full = coord.full_syncs
+        coord.sync_all()
+        assert coord.full_syncs > before_full
+        assert coord.delta_syncs == 0
+
+    def test_epoch_counts_uploads(self):
+        sharded, _, _ = self._build(delta_sync=True)
+        assert sharded.epoch == 0
+        sharded.apply_client_update({}, np.zeros(self.I), gamma=0.99)
+        assert sharded.epoch == 1
+
+    def test_sync_delta_into_matches_sync_into(self):
+        sharded, _, coord = self._build(delta_sync=True)
+        rng = np.random.default_rng(3)
+        replica_a = GlobalCacheTable(self.I, self.L, self.D)
+        replica_b = GlobalCacheTable(self.I, self.L, self.D)
+        synced_at = -1
+        for _ in range(4):
+            ids = rng.choice(self.I, size=5, replace=False)
+            update = {
+                (int(cid), int(rng.integers(self.L))): rng.normal(size=self.D)
+                for cid in ids
+            }
+            freq = np.zeros(self.I)
+            freq[ids] = 1.0
+            sharded.apply_client_update(update, freq, gamma=0.99)
+            delta = sharded.sync_delta_into(replica_a, 0, since_epoch=synced_at)
+            synced_at = delta.target_epoch
+            sharded.sync_into(replica_b, shards=[0])
+            rows = sharded.router.classes_of(0)
+            assert np.array_equal(replica_a.entries[rows], replica_b.entries[rows])
+            assert np.array_equal(replica_a.filled[rows], replica_b.filled[rows])
+            assert np.array_equal(
+                replica_a.class_freq[rows], replica_b.class_freq[rows]
+            )
+
+    def test_node_payload_telemetry_accumulates(self):
+        sharded, nodes, coord = self._build(delta_sync=True)
+        self._run_uploads(sharded, coord, rounds=2)
+        assert all(node.sync_payload_bytes > 0 for node in nodes)
+        assert sum(node.sync_payload_bytes for node in nodes) == (
+            coord.sync_bytes_shipped
+        )
+
+    def test_coordinator_rejects_bad_fallback_fraction(self):
+        router = ClassShardRouter(self.I, 2, salt=0)
+        sharded = ShardedGlobalCache(router, num_layers=self.L, dim=self.D)
+        nodes = [
+            EdgeServerNode(i, _TableHolder(GlobalCacheTable(self.I, self.L, self.D)))
+            for i in range(2)
+        ]
+        with pytest.raises(ValueError, match="delta_fallback_fraction"):
+            ClusterCoordinator(sharded, nodes, delta_fallback_fraction=0.0)

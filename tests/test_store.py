@@ -1,0 +1,811 @@
+"""Tests for the mmap snapshot store (:mod:`repro.store`).
+
+Covers the on-disk format (round-trips, epoch monotonicity, corrupt and
+truncated shards), the lazy reader (read-only zero-copy views), the
+copy-on-write mapped table, serving caches backed by mapped views, the
+delta codec and its full-snapshot fallback, the server integration for
+both persistence formats, and the ``repro store`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import contracts
+from repro.cli import main as cli_main
+from repro.contracts import ContractViolation
+from repro.core.cache import SemanticCache
+from repro.core.config import CoCaConfig, StoreConfig
+from repro.core.server import CoCaServer, GlobalCacheTable
+from repro.data.datasets import get_dataset
+from repro.models.zoo import build_model
+from repro.store import (
+    MappedGlobalCacheTable,
+    MappedTableStore,
+    SnapshotDelta,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    diff_tables,
+    full_rows_nbytes,
+    is_snapshot_path,
+    load_delta,
+    read_manifest,
+    write_snapshot,
+)
+
+
+def unit_rows(shape: tuple[int, ...], seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    rows = rng.standard_normal(shape)
+    return rows / np.linalg.norm(rows, axis=-1, keepdims=True)
+
+
+def filled_table(
+    num_classes: int = 24, num_layers: int = 10, dim: int = 8, seed: int = 0
+) -> GlobalCacheTable:
+    table = GlobalCacheTable(num_classes, num_layers, dim)
+    table.entries = unit_rows((num_classes, num_layers, dim), seed=seed)
+    table.filled[:] = True
+    rng = np.random.default_rng(seed + 1)
+    table.class_freq = rng.integers(1, 9, size=num_classes).astype(float)
+    return table
+
+
+def tables_equal(a: GlobalCacheTable, b: GlobalCacheTable) -> bool:
+    return (
+        np.array_equal(a.entries, b.entries)
+        and np.array_equal(a.filled, b.filled)
+        and np.array_equal(a.class_freq, b.class_freq)
+    )
+
+
+# ----------------------------------------------------------------------
+# Format round-trips
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotRoundtrip:
+    def test_roundtrip_is_bit_exact(self, tmp_path):
+        table = filled_table()
+        manifest = write_snapshot(tmp_path / "snap", table, epoch=3)
+        assert manifest.epoch == 3
+        with MappedTableStore(tmp_path / "snap") as store:
+            assert store.epoch == 3
+            assert tables_equal(store.as_table(), table)
+
+    def test_partial_fill_roundtrip(self, tmp_path):
+        table = filled_table()
+        table.filled[5:] = False
+        write_snapshot(tmp_path / "snap", table)
+        with MappedTableStore(tmp_path / "snap") as store:
+            restored = store.as_table()
+        assert np.array_equal(restored.filled, table.filled)
+        assert np.array_equal(restored.entries, table.entries)
+
+    def test_references_roundtrip(self, tmp_path):
+        table = filled_table(num_layers=4)
+        refs = {"reference_hit_ratio": np.array([0.1, 0.2, 0.3, 0.4])}
+        write_snapshot(tmp_path / "snap", table, references=refs)
+        with MappedTableStore(tmp_path / "snap") as store:
+            out = store.references()
+        assert np.array_equal(out["reference_hit_ratio"],
+                              refs["reference_hit_ratio"])
+
+    def test_snapshot_path_detection(self, tmp_path):
+        table = filled_table()
+        assert not is_snapshot_path(tmp_path / "snap")
+        write_snapshot(tmp_path / "snap", table)
+        assert is_snapshot_path(tmp_path / "snap")
+        assert not is_snapshot_path(tmp_path / "missing")
+
+    def test_float32_snapshot_roundtrip(self, tmp_path):
+        table = filled_table()
+        write_snapshot(tmp_path / "snap", table, dtype="float32")
+        with MappedTableStore(tmp_path / "snap") as store:
+            assert store.dtype == np.dtype(np.float32)
+            view = store.layer_view(0)
+            assert view.dtype == np.dtype(np.float32)
+            assert np.allclose(view, table.entries[:, 0, :], atol=1e-6)
+            with pytest.raises(ValueError, match="float64"):
+                store.as_mapped_table()
+
+    def test_layers_per_shard_controls_file_count(self, tmp_path):
+        table = filled_table(num_layers=10)
+        manifest = write_snapshot(
+            tmp_path / "snap", table, layers_per_shard=4
+        )
+        assert [s.num_layers for s in manifest.shards] == [4, 4, 2]
+        with MappedTableStore(tmp_path / "snap") as store:
+            assert tables_equal(store.as_table(), table)
+
+    def test_rewrite_unlinks_stale_shards(self, tmp_path):
+        table = filled_table(num_layers=10)
+        write_snapshot(tmp_path / "snap", table, layers_per_shard=1)
+        assert len(list((tmp_path / "snap").glob("entries-*.npy"))) == 10
+        write_snapshot(tmp_path / "snap", table, layers_per_shard=8)
+        assert len(list((tmp_path / "snap").glob("entries-*.npy"))) == 2
+
+    def test_epoch_must_be_monotonic(self, tmp_path):
+        table = filled_table()
+        write_snapshot(tmp_path / "snap", table, epoch=5)
+        with pytest.raises(ValueError, match="monotonic"):
+            write_snapshot(tmp_path / "snap", table, epoch=5)
+        with pytest.raises(ValueError, match="monotonic"):
+            write_snapshot(tmp_path / "snap", table, epoch=4)
+        assert write_snapshot(tmp_path / "snap", table, epoch=6).epoch == 6
+        # Default: auto-increment past whatever is on disk.
+        assert write_snapshot(tmp_path / "snap", table).epoch == 7
+
+
+# ----------------------------------------------------------------------
+# Reader: laziness, zero-copy views, integrity
+# ----------------------------------------------------------------------
+
+
+class TestMappedTableStore:
+    def test_views_are_read_only_and_zero_copy(self, tmp_path):
+        table = filled_table()
+        write_snapshot(tmp_path / "snap", table)
+        store = MappedTableStore(tmp_path / "snap")
+        view = store.layer_view(3)
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0, 0] = 1.0
+        # Same mapped storage on every access — no per-call copies.
+        assert np.shares_memory(view, store.layer_view(3))
+        assert np.array_equal(view, table.entries[:, 3, :])
+
+    def test_shards_open_lazily(self, tmp_path):
+        if contracts.ENABLED:
+            pytest.skip(
+                "a contracts-armed open verifies checksums, which maps "
+                "every shard up front by design"
+            )
+        table = filled_table(num_layers=10)
+        write_snapshot(tmp_path / "snap", table, layers_per_shard=2)
+        store = MappedTableStore(tmp_path / "snap")
+        assert all(s is None for s in store._shards)
+        store.layer_view(5)
+        assert [s is not None for s in store._shards] == [
+            False, False, True, False, False
+        ]
+
+    def test_cache_entries_zero_copy_when_fully_filled(self, tmp_path):
+        table = filled_table()
+        write_snapshot(tmp_path / "snap", table)
+        store = MappedTableStore(tmp_path / "snap")
+        ids, mat = store.cache_entries(1)
+        assert np.array_equal(ids, np.arange(table.num_classes))
+        assert np.shares_memory(mat, store.layer_view(1))
+
+    def test_cache_entries_gathers_partial_fill(self, tmp_path):
+        table = filled_table()
+        table.filled[10:, 1] = False
+        write_snapshot(tmp_path / "snap", table)
+        store = MappedTableStore(tmp_path / "snap")
+        ids, mat = store.cache_entries(1)
+        assert np.array_equal(ids, np.arange(10))
+        assert not np.shares_memory(mat, store.layer_view(1))
+        assert np.array_equal(mat, table.entries[:10, 1, :])
+
+    def test_missing_manifest_raises(self, tmp_path):
+        (tmp_path / "snap").mkdir()
+        with pytest.raises(SnapshotFormatError, match="manifest"):
+            read_manifest(tmp_path / "snap")
+        with pytest.raises(SnapshotFormatError):
+            MappedTableStore(tmp_path / "snap")
+
+    def test_truncated_shard_raises_integrity_error(self, tmp_path):
+        table = filled_table()
+        manifest = write_snapshot(tmp_path / "snap", table)
+        shard_file = tmp_path / "snap" / manifest.shards[0].file
+        shard_file.write_bytes(shard_file.read_bytes()[:40])
+        # Under contracts the open itself verifies checksums and trips;
+        # otherwise the first mapped access does.  Same exception either way.
+        with pytest.raises(SnapshotIntegrityError, match="truncated|corrupt"):
+            MappedTableStore(tmp_path / "snap").layer_view(0)
+
+    def test_wrong_shape_shard_raises_integrity_error(self, tmp_path):
+        table = filled_table()
+        manifest = write_snapshot(tmp_path / "snap", table)
+        np.save(
+            tmp_path / "snap" / manifest.shards[0].file,
+            np.zeros((2, 2), dtype=np.float64),
+        )
+        with pytest.raises(SnapshotIntegrityError, match="shape"):
+            MappedTableStore(tmp_path / "snap").layer_view(0)
+
+    def test_checksum_mismatch_detected(self, tmp_path):
+        table = filled_table()
+        manifest = write_snapshot(tmp_path / "snap", table)
+        shard_file = tmp_path / "snap" / manifest.shards[0].file
+        raw = bytearray(shard_file.read_bytes())
+        raw[-1] ^= 0xFF  # flip payload bits, keep the size
+        shard_file.write_bytes(bytes(raw))
+        # A contracts-armed open trips ContractViolation at construction;
+        # a plain open defers to verify_checksums().  Both say "checksum".
+        with pytest.raises(
+            (SnapshotIntegrityError, ContractViolation), match="checksum"
+        ):
+            MappedTableStore(tmp_path / "snap").verify_checksums()
+        with pytest.raises(SnapshotIntegrityError, match="checksum"):
+            MappedTableStore(tmp_path / "snap", verify=True)
+
+    def test_verify_passes_on_intact_snapshot(self, tmp_path):
+        write_snapshot(tmp_path / "snap", filled_table())
+        MappedTableStore(tmp_path / "snap", verify=True).verify_checksums()
+
+
+# ----------------------------------------------------------------------
+# Copy-on-write mapped table
+# ----------------------------------------------------------------------
+
+
+class TestMappedGlobalCacheTable:
+    def _mapped(self, tmp_path, table) -> MappedGlobalCacheTable:
+        write_snapshot(tmp_path / "snap", table)
+        return MappedTableStore(tmp_path / "snap").as_mapped_table()
+
+    def test_reads_are_mapped_until_written(self, tmp_path):
+        table = filled_table()
+        mapped = self._mapped(tmp_path, table)
+        assert mapped.promoted_layers() == []
+        assert not mapped.is_materialized
+        view = mapped.layer_entries(2)
+        assert not view.flags.writeable
+        assert np.shares_memory(view, mapped._store.layer_view(2))
+
+    def test_merge_promotes_only_touched_layers(self, tmp_path):
+        table = filled_table()
+        mapped = self._mapped(tmp_path, table)
+        reference = table.copy()
+        ids = np.array([1, 4, 7])
+        layers = np.array([2, 2, 5])
+        vectors = unit_rows((3, table.dim), seed=9)
+        freqs = np.array([2.0, 1.0, 3.0])
+        mapped.merge_updates(ids, layers, vectors, freqs, gamma=0.99)
+        reference.merge_updates(ids, layers, vectors, freqs, gamma=0.99)
+        assert mapped.promoted_layers() == [2, 5]
+        # Bit-identical to the flat single-table scatter.
+        for layer in range(table.num_layers):
+            assert np.array_equal(
+                mapped.layer_entries(layer), reference.entries[:, layer, :]
+            ), f"layer {layer}"
+        assert np.array_equal(mapped.filled, reference.filled)
+        # Untouched layers still read from the mapped shards.
+        assert np.shares_memory(
+            mapped.layer_entries(0), mapped._store.layer_view(0)
+        )
+
+    def test_install_promotes_layer(self, tmp_path):
+        table = filled_table()
+        mapped = self._mapped(tmp_path, table)
+        vector = unit_rows((table.dim,), seed=5)
+        mapped.install(3, 1, vector)
+        assert mapped.promoted_layers() == [1]
+        assert np.allclose(mapped.layer_entries(1)[3], vector)
+
+    def test_entries_property_materializes_once(self, tmp_path):
+        table = filled_table()
+        mapped = self._mapped(tmp_path, table)
+        full = mapped.entries
+        assert mapped.is_materialized
+        assert np.array_equal(full, table.entries)
+        assert mapped.entries is full  # no second materialization
+
+    def test_copy_is_plain_and_does_not_materialize(self, tmp_path):
+        table = filled_table()
+        mapped = self._mapped(tmp_path, table)
+        clone = mapped.copy()
+        assert type(clone) is GlobalCacheTable
+        assert tables_equal(clone, table)
+        assert not mapped.is_materialized
+
+    def test_subtable_reads_through_views(self, tmp_path):
+        table = filled_table()
+        mapped = self._mapped(tmp_path, table)
+        out = mapped.subtable({2: np.array([0, 3, 6])})
+        ids, mat = out[2]
+        assert np.array_equal(ids, [0, 3, 6])
+        assert np.array_equal(mat, table.entries[[0, 3, 6], 2, :])
+        assert not mapped.is_materialized
+
+
+# ----------------------------------------------------------------------
+# Serving caches over mapped views
+# ----------------------------------------------------------------------
+
+
+class TestMappedServing:
+    def test_serving_cache_layers_are_view_backed(self, tmp_path):
+        table = filled_table()
+        write_snapshot(tmp_path / "snap", table)
+        store = MappedTableStore(tmp_path / "snap")
+        cache = store.serving_cache(alpha=0.5, theta=0.05)
+        assert cache.dtype == np.dtype(np.float64)
+        assert cache.view_backed_layers() == list(range(table.num_layers))
+        _, mat = cache._layers[4]
+        assert not mat.flags.writeable
+        assert np.shares_memory(mat, store.layer_view(4))
+
+    def test_set_layer_entries_promotes_view_to_ram(self, tmp_path):
+        table = filled_table()
+        write_snapshot(tmp_path / "snap", table)
+        store = MappedTableStore(tmp_path / "snap")
+        cache = store.serving_cache()
+        ids, _ = store.cache_entries(2)
+        cache.set_layer_entries(2, ids, unit_rows((ids.size, store.dim)))
+        assert not cache.is_view_backed(2)
+        _, mat = cache._layers[2]
+        assert mat.flags.writeable
+        assert not np.shares_memory(mat, store.layer_view(2))
+        assert cache.view_backed_layers() == [
+            j for j in range(table.num_layers) if j != 2
+        ]
+
+    def test_view_backed_lookups_match_owned_storage(self, tmp_path):
+        table = filled_table()
+        write_snapshot(tmp_path / "snap", table)
+        store = MappedTableStore(tmp_path / "snap")
+        mapped_cache = store.serving_cache(alpha=0.5, theta=0.05)
+        owned_cache = SemanticCache(
+            table.num_classes, alpha=0.5, theta=0.05, dtype=np.float64
+        )
+        for layer in range(table.num_layers):
+            ids = np.arange(table.num_classes)
+            owned_cache.set_layer_entries(
+                layer, ids, table.entries[:, layer, :]
+            )
+        # set_layer_entries re-normalizes (a no-op up to rounding on the
+        # already-unit snapshot rows); the view path stores bytes as-is.
+        assert mapped_cache.content_equal(owned_cache, atol=1e-12)
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            query = unit_rows((table.dim,), seed=int(rng.integers(1 << 30)))
+            sess_a = mapped_cache.start_session()
+            sess_b = owned_cache.start_session()
+            for layer in range(table.num_layers):
+                res_a = sess_a.probe(layer, query)
+                res_b = sess_b.probe(layer, query)
+                assert res_a.hit == res_b.hit
+                assert res_a.top_class == res_b.top_class
+                assert abs(res_a.score - res_b.score) < 1e-12
+
+    def test_set_layer_view_rejects_mismatched_dtype(self):
+        cache = SemanticCache(8, dtype=np.float32)
+        with pytest.raises(ValueError, match="dtype"):
+            cache.set_layer_view(
+                0, np.arange(4), unit_rows((4, 6)).astype(np.float64)
+            )
+
+    def test_set_layer_view_rejects_non_contiguous(self):
+        cache = SemanticCache(8, dtype=np.float64)
+        mat = np.asfortranarray(unit_rows((4, 6)))
+        with pytest.raises(ValueError, match="contiguous"):
+            cache.set_layer_view(0, np.arange(4), mat)
+
+    def test_set_layer_view_validates_ids(self):
+        cache = SemanticCache(4, dtype=np.float64)
+        with pytest.raises(ValueError, match="duplicate"):
+            cache.set_layer_view(0, np.array([1, 1]), unit_rows((2, 6)))
+        with pytest.raises(ValueError, match="range"):
+            cache.set_layer_view(0, np.array([1, 9]), unit_rows((2, 6)))
+
+    def test_empty_view_clears_layer(self):
+        cache = SemanticCache(8, dtype=np.float64)
+        cache.set_layer_view(0, np.arange(4), unit_rows((4, 6)))
+        cache.set_layer_view(
+            0, np.empty(0, dtype=int), np.empty((0, 6))
+        )
+        assert cache.active_layers == []
+        assert cache.view_backed_layers() == []
+
+    def test_clear_drops_view_tracking(self):
+        cache = SemanticCache(8, dtype=np.float64)
+        cache.set_layer_view(0, np.arange(4), unit_rows((4, 6)))
+        cache.clear()
+        assert cache.view_backed_layers() == []
+
+
+# ----------------------------------------------------------------------
+# Delta codec and fallback
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotDelta:
+    def _delta(self) -> SnapshotDelta:
+        return SnapshotDelta(
+            shard_id=1,
+            base_epoch=2,
+            target_epoch=7,
+            full=False,
+            entry_rows=np.array([3, 8], dtype=np.int64),
+            entries=unit_rows((2, 5, 6)),
+            filled=np.ones((2, 5), dtype=bool),
+            freq_rows=np.array([3, 8, 9], dtype=np.int64),
+            freqs=np.array([1.0, 2.0, 4.0]),
+        )
+
+    def test_codec_roundtrip(self, tmp_path):
+        delta = self._delta()
+        delta.save(tmp_path / "delta.npz")
+        loaded = load_delta(tmp_path / "delta.npz")
+        assert loaded.shard_id == 1
+        assert loaded.base_epoch == 2 and loaded.target_epoch == 7
+        assert not loaded.full
+        assert np.array_equal(loaded.entry_rows, delta.entry_rows)
+        assert np.array_equal(loaded.entries, delta.entries)
+        assert np.array_equal(loaded.filled, delta.filled)
+        assert np.array_equal(loaded.freq_rows, delta.freq_rows)
+        assert np.array_equal(loaded.freqs, delta.freqs)
+
+    def test_apply_scatters_rows(self):
+        delta = self._delta()
+        replica = GlobalCacheTable(12, 5, 6)
+        delta.apply(replica)
+        assert np.array_equal(replica.entries[[3, 8]], delta.entries)
+        assert replica.filled[3].all() and replica.filled[8].all()
+        assert replica.class_freq[9] == 4.0
+        assert replica.class_freq[0] == 0.0
+
+    def test_apply_rejects_out_of_range_rows(self):
+        delta = self._delta()
+        with pytest.raises(ValueError, match="geometry"):
+            delta.apply(GlobalCacheTable(9, 5, 6))
+
+    def test_apply_rejects_mismatched_row_shape(self):
+        delta = self._delta()
+        with pytest.raises(ValueError, match="shape"):
+            delta.apply(GlobalCacheTable(12, 4, 6))
+
+    def test_epochs_must_not_run_backwards(self):
+        with pytest.raises(ValueError, match="backwards"):
+            SnapshotDelta(
+                shard_id=0,
+                base_epoch=5,
+                target_epoch=2,
+                full=False,
+                entry_rows=np.empty(0, dtype=np.int64),
+                entries=np.empty((0, 2, 2)),
+                filled=np.empty((0, 2), dtype=bool),
+                freq_rows=np.empty(0, dtype=np.int64),
+                freqs=np.empty(0),
+            )
+
+    def test_nbytes_counts_payload_and_header(self):
+        delta = self._delta()
+        payload = (
+            delta.entry_rows.nbytes
+            + delta.entries.nbytes
+            + delta.filled.nbytes
+            + delta.freq_rows.nbytes
+            + delta.freqs.nbytes
+        )
+        assert delta.nbytes == payload + 32
+
+    def test_diff_tables_finds_changed_rows(self):
+        base = filled_table()
+        target = base.copy()
+        target.entries[4, 1, :] = unit_rows((base.dim,), seed=3)
+        target.filled[6, 0] = False
+        target.class_freq[9] += 1.0
+        delta = diff_tables(base, target)
+        assert np.array_equal(delta.entry_rows, [4, 6])
+        assert np.array_equal(delta.freq_rows, [9])
+        fresh = base.copy()
+        delta.apply(fresh)
+        assert tables_equal(fresh, target)
+
+    def test_diff_rejects_geometry_mismatch(self):
+        with pytest.raises(ValueError, match="geometry"):
+            diff_tables(filled_table(), filled_table(num_layers=3))
+
+
+# ----------------------------------------------------------------------
+# Server integration: both persistence formats
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server() -> CoCaServer:
+    model = build_model("resnet50", get_dataset("ucf101", 12), seed=0)
+    return CoCaServer(model, CoCaConfig())
+
+
+class TestServerPersistence:
+    def test_save_snapshot_load_ram_roundtrip(self, tmp_path, server):
+        server.save_snapshot(tmp_path / "snap")
+        model = build_model("resnet50", get_dataset("ucf101", 12), seed=0)
+        other = CoCaServer(model, CoCaConfig())
+        other.load_table(tmp_path / "snap")  # auto-detected, mode="ram"
+        assert type(other.table) is GlobalCacheTable
+        assert tables_equal(other.table, server.table)
+        assert np.array_equal(
+            other.reference_similarity_floor, server.reference_similarity_floor
+        )
+
+    def test_load_mmap_is_lazy_and_equivalent(self, tmp_path, server):
+        server.save_snapshot(tmp_path / "snap")
+        model = build_model("resnet50", get_dataset("ucf101", 12), seed=0)
+        other = CoCaServer(model, CoCaConfig())
+        other.load_table(tmp_path / "snap", mode="mmap")
+        assert isinstance(other.table, MappedGlobalCacheTable)
+        assert other.table.promoted_layers() == []
+        for layer in (0, server.table.num_layers - 1):
+            assert np.array_equal(
+                other.table.layer_entries(layer),
+                server.table.entries[:, layer, :],
+            )
+
+    def test_legacy_npz_roundtrip(self, tmp_path, server):
+        server.save_table(tmp_path / "table.npz")
+        model = build_model("resnet50", get_dataset("ucf101", 12), seed=0)
+        other = CoCaServer(model, CoCaConfig())
+        other.load_table(tmp_path / "table.npz")
+        assert tables_equal(other.table, server.table)
+
+    def test_legacy_npz_load_closes_file_handle(self, tmp_path, server):
+        server.save_table(tmp_path / "table.npz")
+        if not os.path.isdir("/proc/self/fd"):
+            pytest.skip("needs /proc to observe open file descriptors")
+        before = len(os.listdir("/proc/self/fd"))
+        server.load_table(tmp_path / "table.npz")
+        assert len(os.listdir("/proc/self/fd")) == before
+
+    def test_floor_absent_legacy_archive_defaults(self, tmp_path, server):
+        num_layers = server.table.num_layers
+        np.savez_compressed(
+            tmp_path / "old.npz",
+            entries=server.table.entries,
+            filled=server.table.filled,
+            class_freq=server.table.class_freq,
+            reference_hit_ratio=np.zeros(num_layers),
+            reference_hit_accuracy=np.zeros(num_layers),
+            reference_exit_loss=np.zeros(num_layers),
+        )
+        model = build_model("resnet50", get_dataset("ucf101", 12), seed=0)
+        other = CoCaServer(model, CoCaConfig())
+        other.load_table(tmp_path / "old.npz")
+        assert np.array_equal(
+            other.reference_similarity_floor, np.full(num_layers, -1.0)
+        )
+
+    def test_mmap_mode_rejected_for_npz(self, tmp_path, server):
+        server.save_table(tmp_path / "table.npz")
+        with pytest.raises(ValueError, match="convert"):
+            server.load_table(tmp_path / "table.npz", mode="mmap")
+
+    def test_unknown_mode_rejected(self, tmp_path, server):
+        with pytest.raises(ValueError, match="mode"):
+            server.load_table(tmp_path / "anything", mode="lazy")
+
+    def test_geometry_mismatch_rejected(self, tmp_path, server):
+        write_snapshot(tmp_path / "snap", filled_table(4, 3, 5))
+        with pytest.raises(ValueError, match="geometry"):
+            server.load_table(tmp_path / "snap")
+
+    def test_snapshot_epochs_advance_across_saves(self, tmp_path, server):
+        first = server.save_snapshot(tmp_path / "snap")
+        second = server.save_snapshot(tmp_path / "snap")
+        assert second.epoch == first.epoch + 1
+
+
+# ----------------------------------------------------------------------
+# StoreConfig validation
+# ----------------------------------------------------------------------
+
+
+class TestStoreConfig:
+    def test_defaults_valid(self):
+        config = StoreConfig()
+        assert config.layers_per_shard == 8
+        assert 0.0 < config.delta_fallback_fraction <= 1.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="layers_per_shard"):
+            StoreConfig(layers_per_shard=0)
+        with pytest.raises(ValueError, match="delta_fallback_fraction"):
+            StoreConfig(delta_fallback_fraction=0.0)
+        with pytest.raises(ValueError, match="delta_fallback_fraction"):
+            StoreConfig(delta_fallback_fraction=1.5)
+
+
+# ----------------------------------------------------------------------
+# Snapshot contracts (REPRO_CONTRACTS=1)
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotContracts:
+    def test_manifest_contract_passes_on_good_state(self):
+        contracts.check_snapshot_manifest(
+            layout_version=1,
+            epoch=3,
+            geometry=(4, 2, 8),
+            expected_geometry=(4, 2, 8),
+            checksums={"a": "00"},
+            recomputed={"a": "00"},
+            previous_epoch=2,
+        )
+
+    def test_manifest_contract_fires_on_checksum_mismatch(self):
+        with pytest.raises(ContractViolation, match="checksum"):
+            contracts.check_snapshot_manifest(
+                layout_version=1,
+                epoch=1,
+                geometry=(4, 2, 8),
+                expected_geometry=None,
+                checksums={"a": "00"},
+                recomputed={"a": "ff"},
+            )
+
+    def test_manifest_contract_fires_on_non_monotonic_epoch(self):
+        with pytest.raises(ContractViolation, match="monotonic"):
+            contracts.check_snapshot_manifest(
+                layout_version=1,
+                epoch=2,
+                geometry=(4, 2, 8),
+                expected_geometry=None,
+                checksums={},
+                recomputed={},
+                previous_epoch=2,
+            )
+
+    def test_manifest_contract_fires_on_geometry_mismatch(self):
+        with pytest.raises(ContractViolation, match="geometry"):
+            contracts.check_snapshot_manifest(
+                layout_version=1,
+                epoch=1,
+                geometry=(4, 2, 8),
+                expected_geometry=(4, 3, 8),
+                checksums={},
+                recomputed={},
+            )
+
+    def test_delta_contract_passes_when_delta_covers_dirty(self):
+        contracts.check_delta_apply(
+            np.array([1, 5]),
+            np.array([2]),
+            np.array([5, 1]),
+            np.array([2]),
+            changed_entry_rows=np.array([5]),
+            changed_freq_rows=np.array([2]),
+        )
+
+    def test_delta_contract_fires_when_shipment_misses_dirty_row(self):
+        with pytest.raises(ContractViolation):
+            contracts.check_delta_apply(
+                np.array([1]),
+                np.empty(0, dtype=np.int64),
+                np.array([1, 5]),
+                np.empty(0, dtype=np.int64),
+            )
+
+    def test_delta_contract_fires_when_changed_row_not_shipped(self):
+        with pytest.raises(ContractViolation):
+            contracts.check_delta_apply(
+                np.array([1]),
+                np.empty(0, dtype=np.int64),
+                np.array([1]),
+                np.empty(0, dtype=np.int64),
+                changed_entry_rows=np.array([1, 7]),
+            )
+
+    def test_reader_invokes_manifest_contract_when_enabled(
+        self, tmp_path, monkeypatch
+    ):
+        write_snapshot(tmp_path / "snap", filled_table())
+        calls: list[str] = []
+        real = contracts.check_snapshot_manifest
+        monkeypatch.setattr(
+            contracts,
+            "check_snapshot_manifest",
+            lambda **kw: (calls.append("hit"), real(**kw)),
+        )
+        with contracts.activated(False):  # force off (CI arms the env gate)
+            MappedTableStore(tmp_path / "snap")
+        assert calls == []  # gate off -> no contract work
+        with contracts.activated():
+            MappedTableStore(tmp_path / "snap")
+        assert calls == ["hit"]
+
+    def test_corrupt_snapshot_trips_contract_gate(self, tmp_path):
+        manifest = write_snapshot(tmp_path / "snap", filled_table())
+        shard_file = tmp_path / "snap" / manifest.shards[0].file
+        raw = bytearray(shard_file.read_bytes())
+        raw[-1] ^= 0xFF
+        shard_file.write_bytes(bytes(raw))
+        with contracts.activated():
+            with pytest.raises(ContractViolation, match="checksum"):
+                MappedTableStore(tmp_path / "snap")
+
+
+# ----------------------------------------------------------------------
+# CLI: repro store inspect / convert / diff
+# ----------------------------------------------------------------------
+
+
+class TestStoreCli:
+    def test_inspect_text_and_json(self, tmp_path, capsys):
+        write_snapshot(tmp_path / "snap", filled_table(), epoch=4)
+        assert cli_main(["store", "inspect", str(tmp_path / "snap")]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 4" in out and "entries-00000.npy" in out
+        code = cli_main(
+            ["store", "inspect", str(tmp_path / "snap"), "--json", "--verify"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["epoch"] == 4
+        assert payload["geometry"] == {"classes": 24, "layers": 10, "dim": 8}
+        assert payload["verified"] is True
+
+    def test_inspect_rejects_non_snapshot(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        assert cli_main(["store", "inspect", str(tmp_path / "empty")]) == 1
+        assert "cannot open" in capsys.readouterr().err
+
+    def test_convert_then_inspect(self, tmp_path, capsys):
+        table = filled_table(num_layers=6)
+        np.savez_compressed(
+            tmp_path / "legacy.npz",
+            entries=table.entries,
+            filled=table.filled,
+            class_freq=table.class_freq,
+            reference_hit_ratio=np.zeros(6),
+            reference_hit_accuracy=np.zeros(6),
+            reference_exit_loss=np.zeros(6),
+        )
+        code = cli_main([
+            "store", "convert",
+            str(tmp_path / "legacy.npz"), str(tmp_path / "snap"),
+            "--layers-per-shard", "4", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"] == 2
+        assert "reference_hit_ratio" in payload["references"]
+        with MappedTableStore(tmp_path / "snap") as store:
+            assert tables_equal(store.as_table(), table)
+
+    def test_convert_rejects_non_table_archive(self, tmp_path, capsys):
+        np.savez(tmp_path / "junk.npz", other=np.zeros(3))
+        code = cli_main([
+            "store", "convert",
+            str(tmp_path / "junk.npz"), str(tmp_path / "snap"),
+        ])
+        assert code == 1
+        assert "missing array" in capsys.readouterr().err
+
+    def test_diff_reports_changed_rows(self, tmp_path, capsys):
+        base = filled_table()
+        write_snapshot(tmp_path / "before", base, epoch=1)
+        target = base.copy()
+        target.entries[2, 0, :] = unit_rows((base.dim,), seed=8)
+        target.class_freq[5] += 1.0
+        write_snapshot(tmp_path / "after", target, epoch=2)
+        code = cli_main([
+            "store", "diff",
+            str(tmp_path / "before"), str(tmp_path / "after"), "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entry_rows_changed"] == 1
+        assert payload["freq_rows_changed"] == 1
+        assert payload["delta_nbytes"] < payload["full_copy_nbytes"]
+
+    def test_diff_rejects_geometry_mismatch(self, tmp_path, capsys):
+        write_snapshot(tmp_path / "a", filled_table())
+        write_snapshot(tmp_path / "b", filled_table(num_layers=3))
+        code = cli_main(["store", "diff", str(tmp_path / "a"),
+                         str(tmp_path / "b")])
+        assert code == 2
+        assert "geometry" in capsys.readouterr().err
+
+
+def test_full_rows_nbytes_formula():
+    # float64 entries + bool fill + float64 Phi per row.
+    assert full_rows_nbytes(3, 4, 5) == 3 * (4 * 5 * 8 + 4 + 8)

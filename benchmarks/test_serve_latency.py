@@ -1,0 +1,232 @@
+"""Serving-path latency benchmark: real concurrency under wall clock.
+
+Three claims about :mod:`repro.serve`, measured against one snapshot:
+
+* **saturation scaling** — closed-loop sessions against 4 shard workers
+  must complete at least **2.5x** (CI: 1.8x) the requests per second of
+  the same drive against 1 worker.  Worker service time is dominated by
+  a deterministic emulated device floor (the probe math itself is
+  microseconds), so the gate exercises the admission/dispatch layer,
+  not NumPy throughput — this is what makes the gate meaningful on a
+  single-core runner.
+* **analytic cross-check** — at utilization ≤ 0.7, the measured mean
+  queue wait of an open-loop Poisson drive against one worker must fall
+  within **35%** (CI: 60%) of the M/D/1 prediction of
+  :class:`~repro.sim.network.ServerLoadModel` fed the *measured*
+  arrival rate and service time — the wall-clock stack and the
+  virtual-time load model describing the same queue.  A small absolute
+  allowance covers timer granularity.
+* **overload conservation** — a sustained drive at ~3x capacity with a
+  tiny admission queue and no retries must lose **zero** requests:
+  every submission resolves as exactly one of success/timeout/shed
+  (checked with runtime contracts armed).
+
+Results are archived to ``benchmarks/results/serve_latency.txt``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+
+from repro import contracts
+from repro.core.server import GlobalCacheTable
+from repro.serve import (
+    LoadgenConfig,
+    ServeConfig,
+    ServeFrontend,
+    WorkerOptions,
+    analytic_wait_ms,
+    run_loadgen,
+    run_open_loop,
+    synthesize_requests,
+)
+from repro.store import write_snapshot
+
+NUM_CLASSES, NUM_LAYERS, DIM = 101, 20, 32
+
+FLOOR_MS = 10.0  # emulated per-request device service time
+SATURATION_CONCURRENCY = 16
+SATURATION_SECONDS = 0.9
+SATURATION_TRIALS = 2  # best-of: absorbs one noisy scheduler window
+
+WAIT_RATE_PER_S = 50.0
+WAIT_FLOOR_MS = 12.0  # rho = 50/s * 12ms = 0.6
+WAIT_REQUESTS = 150
+WAIT_WARMUP = 8  # cold-worker requests served before measuring
+
+OVERLOAD_RATE_PER_S = 400.0
+OVERLOAD_FLOOR_MS = 8.0  # capacity 125/s: a sustained 3.2x overload
+OVERLOAD_REQUESTS = 150
+
+
+def _write_snapshot(tmp_path) -> str:
+    rng = np.random.default_rng(0)
+    table = GlobalCacheTable(NUM_CLASSES, NUM_LAYERS, DIM)
+    rows = rng.standard_normal((NUM_CLASSES, NUM_LAYERS, DIM))
+    table.entries = rows / np.linalg.norm(rows, axis=-1, keepdims=True)
+    table.filled[:] = True
+    table.class_freq = np.full(NUM_CLASSES, 2.0)
+    write_snapshot(tmp_path / "serve.snapshot", table, epoch=1)
+    return str(tmp_path / "serve.snapshot")
+
+
+def _saturation(snapshot: str, workers: int):
+    config = ServeConfig(
+        snapshot_path=snapshot,
+        num_workers=workers,
+        mode="thread",
+        queue_depth=64,
+        deadline_ms=5000.0,
+        worker=WorkerOptions(service_floor_ms=FLOOR_MS),
+    )
+    load = LoadgenConfig(
+        rate_per_s=None,
+        concurrency=SATURATION_CONCURRENCY,
+        duration_s=SATURATION_SECONDS,
+        num_requests=64,
+        batch=4,
+        seed=11,
+    )
+    return run_loadgen(config, load)
+
+
+def _wait_check(snapshot: str):
+    config = ServeConfig(
+        snapshot_path=snapshot,
+        num_workers=1,
+        mode="thread",
+        queue_depth=64,
+        deadline_ms=5000.0,
+        worker=WorkerOptions(service_floor_ms=WAIT_FLOOR_MS),
+    )
+    requests = synthesize_requests(
+        snapshot, num_requests=WAIT_WARMUP + WAIT_REQUESTS, batch=4, seed=12
+    )
+
+    async def scenario():
+        async with ServeFrontend(config) as frontend:
+            # Serve a few requests first so pool growth and first-touch
+            # page faults don't contaminate the measured service times
+            # (the deterministic-service assumption the M/D/1 model
+            # rests on).
+            for request in requests[:WAIT_WARMUP]:
+                await frontend.submit(request.class_hint, request.vectors)
+            return await run_open_loop(
+                frontend,
+                requests[WAIT_WARMUP:],
+                WAIT_RATE_PER_S,
+                seed=12,
+                use_retry=False,
+            )
+
+    return asyncio.run(scenario())
+
+
+def _overload(snapshot: str):
+    config = ServeConfig(
+        snapshot_path=snapshot,
+        num_workers=1,
+        mode="thread",
+        queue_depth=4,
+        deadline_ms=60.0,
+        worker=WorkerOptions(service_floor_ms=OVERLOAD_FLOOR_MS),
+    )
+    load = LoadgenConfig(
+        rate_per_s=OVERLOAD_RATE_PER_S,
+        num_requests=OVERLOAD_REQUESTS,
+        batch=4,
+        seed=13,
+        use_retry=False,
+    )
+    with contracts.activated():
+        return run_loadgen(config, load)
+
+
+def test_serve_latency(benchmark, report, tmp_path):
+    ci = bool(os.environ.get("CI"))
+    min_scaling = 1.8 if ci else 2.5
+    wait_tolerance = 0.60 if ci else 0.35
+    wait_slack_ms = 1.0 if ci else 0.4  # sleep/timer granularity
+    snapshot = _write_snapshot(tmp_path)
+
+    state: dict[str, object] = {}
+
+    def run():
+        # Best-of pairs: a single noisy scheduler window (this is a
+        # 1-core runner) must not decide the scaling ratio.
+        pairs = []
+        for _ in range(SATURATION_TRIALS):
+            pair = (
+                _saturation(snapshot, workers=1),
+                _saturation(snapshot, workers=4),
+            )
+            pairs.append(pair)
+            if pair[1].throughput_rps / pair[0].throughput_rps >= min_scaling:
+                break
+        state["single"], state["quad"] = max(
+            pairs, key=lambda p: p[1].throughput_rps / p[0].throughput_rps
+        )
+        state["wait"] = _wait_check(snapshot)
+        state["overload"] = _overload(snapshot)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    single, quad = state["single"], state["quad"]
+    wait, overload = state["wait"], state["overload"]
+
+    scaling = quad.throughput_rps / single.throughput_rps
+    offered_rate = wait.offered / wait.duration_s
+    rho, predicted_ms = analytic_wait_ms(offered_rate, wait.service.mean_ms)
+    measured_ms = wait.wait.mean_ms
+    wait_error = abs(measured_ms - predicted_ms)
+    lost = overload.offered - overload.resolved
+
+    lines = [
+        f"serve latency (floor {FLOOR_MS:.0f}ms, "
+        f"{SATURATION_CONCURRENCY} closed-loop sessions, thread workers)",
+        "",
+        f"{'workers':>8s}{'ok/s':>9s}{'p50':>9s}{'p95':>9s}{'p99':>9s}",
+    ]
+    for label, rep in (("1", single), ("4", quad)):
+        lat = rep.latency
+        lines.append(
+            f"{label:>8s}{rep.throughput_rps:9.1f}{lat.p50_ms:8.2f}m"
+            f"{lat.p95_ms:8.2f}m{lat.p99_ms:8.2f}m"
+        )
+    lines += [
+        f"saturation scaling: {scaling:.2f}x (gate >= {min_scaling:.1f}x)",
+        "",
+        f"M/D/1 cross-check at rho={rho:.2f} "
+        f"(open loop {WAIT_RATE_PER_S:.0f}/s, floor {WAIT_FLOOR_MS:.0f}ms):",
+        f"  mean queue wait: measured {measured_ms:.3f}ms vs "
+        f"predicted {predicted_ms:.3f}ms "
+        f"(gate within {100 * wait_tolerance:.0f}% + {wait_slack_ms}ms)",
+        "",
+        f"overload at {OVERLOAD_RATE_PER_S:.0f}/s vs "
+        f"{1e3 / OVERLOAD_FLOOR_MS:.0f}/s capacity, queue depth 4, "
+        "contracts armed:",
+        f"  {overload.offered} offered -> {overload.success} ok, "
+        f"{overload.timeout} timeout, {overload.shed} shed, "
+        f"{lost} lost",
+    ]
+    report("serve_latency", "\n".join(lines))
+
+    # Gate 1: multi-worker saturation throughput.
+    assert scaling >= min_scaling, (
+        f"4-worker throughput only {scaling:.2f}x single worker "
+        f"(need >= {min_scaling:.1f}x)"
+    )
+    # Gate 2: measured wait vs the analytic model, below saturation.
+    assert rho <= 0.7, f"wait check ran beyond target utilization: {rho:.2f}"
+    assert wait_error <= wait_tolerance * predicted_ms + wait_slack_ms, (
+        f"measured wait {measured_ms:.3f}ms deviates from M/D/1 "
+        f"prediction {predicted_ms:.3f}ms by more than "
+        f"{100 * wait_tolerance:.0f}% + {wait_slack_ms}ms"
+    )
+    # Gate 3: sustained overload loses nothing.
+    assert lost == 0, f"{lost} requests lost under overload"
+    assert overload.shed > 0, "overload never shed: not actually overloaded"
+    assert overload.success > 0, "overload starved successes entirely"

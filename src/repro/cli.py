@@ -11,6 +11,8 @@ Usage::
     python -m repro cluster --shards 4 --clients 64 --sync-interval 1 \
         --policy region --rounds 2
     python -m repro profile-round --clients 4 --rounds 2
+    python -m repro serve runs/table.snapshot --workers 2 --requests 32
+    python -m repro loadgen runs/table.snapshot --workers 2 --rate 200 --json
     python -m repro lint src --json
     python -m repro store inspect runs/table.snapshot --verify
     python -m repro store convert runs/table.npz runs/table.snapshot
@@ -24,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.baselines import CoCaRunner, EdgeOnly, FoggyCache, LearnedCache, SMTM
 from repro.cluster import ASSIGNMENT_POLICIES, ClusterFramework
@@ -33,6 +36,15 @@ from repro.data.datasets import get_dataset
 from repro.experiments.scenario import Scenario
 from repro.experiments.slo import fresh_scenario
 from repro.models.zoo import available_models
+from repro.serve import (
+    SERVE_MODES,
+    LoadgenConfig,
+    ServeConfig,
+    WorkerOptions,
+    analytic_wait_ms,
+    run_loadgen,
+)
+from repro.sim.metrics import summarize_latencies
 from repro.sim.network import ServerLoadModel
 
 METHOD_NAMES = {
@@ -236,8 +248,12 @@ def cmd_profile_round(args: argparse.Namespace) -> int:
     for r in range(args.warmup):
         framework.run_round(r)
     timings: dict[str, float] = {}
+    round_ms: list[float] = []
     for r in range(args.rounds):
+        started = time.perf_counter()
         framework.run_round(args.warmup + r, timings=timings)
+        round_ms.append(1e3 * (time.perf_counter() - started))
+    rounds_summary = summarize_latencies(round_ms)
     frames = args.rounds * args.clients * config.frames_per_round
     accounted = sum(timings.get(stage, 0.0) for stage in PROFILE_STAGES)
     payload = {
@@ -265,6 +281,9 @@ def cmd_profile_round(args: argparse.Namespace) -> int:
         },
         "total_ms": round(1e3 * accounted, 3),
         "inferences_per_s": round(frames / accounted, 1) if accounted else None,
+        # Whole-round wall clock (stages + unaccounted overhead), the
+        # same percentile shape the serve load generator reports.
+        "round_ms": rounds_summary.as_row(),
     }
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -295,6 +314,145 @@ def cmd_profile_round(args: argparse.Namespace) -> int:
         if accounted
         else "\nno stage time recorded"
     )
+    print(f"per round: {rounds_summary.format()}")
+    return 0
+
+
+def _serve_config(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        snapshot_path=args.snapshot,
+        num_workers=args.workers,
+        mode=args.mode,
+        queue_depth=args.queue_depth,
+        deadline_ms=args.deadline_ms,
+        max_retries=args.retries,
+        router_salt=args.salt,
+        worker=WorkerOptions(
+            alpha=args.alpha,
+            theta=args.theta,
+            service_floor_ms=args.service_floor_ms,
+            miss_ms=args.miss_ms,
+        ),
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Bring up the serving cluster from a snapshot and smoke it.
+
+    Starts one worker per shard from ``snapshot``, reports each lane's
+    warm-start cost and mapped state, drives ``--requests`` synthetic
+    requests through the admission path, and prints the outcome ledger
+    — the round-trip proof that the snapshot serves.
+    """
+    config = _serve_config(args)
+    # A fixed-size smoke: the open-loop driver at an effectively
+    # unlimited rate fires every request exactly once, as fast as
+    # admission allows.
+    load = LoadgenConfig(
+        rate_per_s=1e6,
+        num_requests=args.requests,
+        batch=args.batch,
+        seed=args.seed,
+    )
+    report = run_loadgen(config, load)
+    lanes = report.frontend_stats.get("lanes", [])
+    payload = {
+        "snapshot": args.snapshot,
+        "mode": config.mode,
+        "workers": config.num_workers,
+        "queue_depth": config.queue_depth,
+        "deadline_ms": config.deadline_ms,
+        "lanes": lanes,
+        "smoke": report.as_json(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{config.num_workers} {config.mode} worker(s) over {args.snapshot} "
+        f"(queue depth {config.queue_depth}, deadline {config.deadline_ms}ms)"
+    )
+    for lane in lanes:
+        info = lane.get("worker", {})
+        print(
+            f"  shard {lane['shard']}: pid {info.get('pid')}, "
+            f"warm start {info.get('init_ms', 0.0):.1f}ms, "
+            f"epoch {info.get('epoch')}, served {lane['served']}"
+        )
+    print(
+        f"smoke: {report.success}/{report.offered} ok, "
+        f"{report.timeout} timeout, {report.shed} shed, "
+        f"hit ratio {100 * report.hit_ratio:.1f}%"
+    )
+    if report.latency is not None:
+        print(f"latency: {report.latency.format()}")
+    return 0 if report.success == report.offered else 1
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive the serving cluster at a target rate and report percentiles.
+
+    Open loop with ``--rate`` (Poisson arrivals; adds the M/D/1
+    queue-wait cross-check when a single worker serves), closed loop
+    with ``--concurrency`` sessions otherwise.
+    """
+    config = _serve_config(args)
+    load = LoadgenConfig(
+        rate_per_s=args.rate,
+        num_requests=args.requests,
+        concurrency=args.concurrency,
+        duration_s=args.duration,
+        batch=args.batch,
+        noise=args.noise,
+        miss_fraction=args.miss_fraction,
+        seed=args.seed,
+        use_retry=not args.no_retry,
+    )
+    report = run_loadgen(config, load)
+    payload = report.as_json()
+    payload["workers"] = config.num_workers
+    payload["mode"] = f"{report.mode}/{config.mode}"
+    analytic = None
+    if (
+        args.rate is not None
+        and config.num_workers == 1
+        and report.service is not None
+        and report.duration_s > 0
+    ):
+        offered_rate = report.offered / report.duration_s
+        try:
+            rho, wait = analytic_wait_ms(offered_rate, report.service.mean_ms)
+            analytic = {"utilization": round(rho, 3),
+                        "predicted_wait_ms": round(wait, 3)}
+        except ValueError:
+            analytic = {"utilization": None, "predicted_wait_ms": None}
+        payload["analytic"] = analytic
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{report.mode} over {config.num_workers} {config.mode} worker(s): "
+        f"{report.offered} requests in {report.duration_s:.2f}s "
+        f"({report.throughput_rps:.0f} ok/s)"
+    )
+    print(
+        f"outcomes: {report.success} ok, {report.timeout} timeout, "
+        f"{report.shed} shed ({report.retries} retries, "
+        f"{report.late_responses} late)"
+    )
+    for label, summary in (("latency", report.latency),
+                           ("queue wait", report.wait),
+                           ("service", report.service)):
+        if summary is not None:
+            print(f"{label:>10s}: {summary.format()}")
+    if analytic is not None and analytic["predicted_wait_ms"] is not None:
+        assert report.wait is not None
+        print(
+            f"  analytic: M/D/1 at rho={analytic['utilization']} predicts "
+            f"{analytic['predicted_wait_ms']}ms mean wait "
+            f"(measured {report.wait.mean_ms:.3f}ms)"
+        )
+    print(f"hit ratio: {100 * report.hit_ratio:.1f}%")
     return 0
 
 
@@ -665,6 +823,69 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of a table")
     profile.set_defaults(func=cmd_profile_round)
+
+    def _add_serve_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("snapshot", help="table snapshot directory to serve")
+        p.add_argument("--workers", type=int, default=2,
+                       help="shard worker count (one shard per worker)")
+        p.add_argument("--mode", default="thread", choices=SERVE_MODES,
+                       help="worker execution mode")
+        p.add_argument("--queue-depth", dest="queue_depth", type=int,
+                       default=32, help="per-shard admission queue bound")
+        p.add_argument("--deadline-ms", dest="deadline_ms", type=float,
+                       default=250.0, help="per-request deadline")
+        p.add_argument("--retries", type=int, default=3,
+                       help="max retries after shed (exponential backoff)")
+        p.add_argument("--service-floor-ms", dest="service_floor_ms",
+                       type=float, default=0.0,
+                       help="emulated per-request device service time")
+        p.add_argument("--miss-ms", dest="miss_ms", type=float, default=0.0,
+                       help="emulated full-model time per missed frame")
+        p.add_argument("--alpha", type=float, default=0.5,
+                       help="Eq. 1 cross-layer accumulation factor")
+        p.add_argument("--theta", type=float, default=0.05,
+                       help="Eq. 2 early-exit threshold")
+        p.add_argument("--salt", type=int, default=0,
+                       help="class -> shard router salt")
+        p.add_argument("--batch", type=int, default=16,
+                       help="frames per request")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="start shard workers from a snapshot and smoke the "
+             "admission path",
+    )
+    _add_serve_args(serve)
+    serve.add_argument("--requests", type=int, default=32,
+                       help="synthetic smoke requests to round-trip")
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive the serving cluster at a target rate and report "
+             "wall-clock percentiles",
+    )
+    _add_serve_args(loadgen)
+    loadgen.add_argument("--rate", type=float, default=None,
+                         help="open-loop arrival rate (requests/s); "
+                              "omit for closed loop")
+    loadgen.add_argument("--requests", type=int, default=200,
+                         help="open-loop request count")
+    loadgen.add_argument("--concurrency", type=int, default=8,
+                         help="closed-loop client sessions")
+    loadgen.add_argument("--duration", type=float, default=2.0,
+                         help="closed-loop drive seconds")
+    loadgen.add_argument("--noise", type=float, default=0.2,
+                         help="query jitter around stored centroids")
+    loadgen.add_argument("--miss-fraction", dest="miss_fraction",
+                         type=float, default=0.0,
+                         help="fraction of pure-noise (miss) frames")
+    loadgen.add_argument("--no-retry", dest="no_retry", action="store_true",
+                         help="report sheds instead of retrying them")
+    loadgen.set_defaults(func=cmd_loadgen)
 
     lint = sub.add_parser(
         "lint", help="run the repo-aware static invariant checker"

@@ -322,6 +322,17 @@ class ClusterFramework:
             reports=all_reports,
         )
 
+    def close(self) -> None:
+        """Release every probe workspace of the fleet.
+
+        Node workspaces are shared with the engines of the clients
+        assigned to them, so both teardown paths meet at the same
+        idempotent :meth:`~repro.core.cache.LookupWorkspace.close`.
+        """
+        for node in self.nodes:
+            node.close()
+        self.framework.close()
+
     def merged_table(self) -> GlobalCacheTable:
         """The cluster's equivalent single-server global table."""
         return self.sharded.merged_table()

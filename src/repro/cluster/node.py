@@ -224,6 +224,10 @@ class EdgeServerNode:
             cache.set_probe_threads(self.probe_threads)
         return cache
 
+    def close(self) -> None:
+        """Release the node's probe workspace (threads + buffer pools)."""
+        self.workspace.close()
+
     @property
     def mean_wait_ms(self) -> float:
         """Observed mean queueing wait across served cache requests."""

@@ -43,6 +43,7 @@ __all__ = [
     "ContractViolation",
     "ENABLED",
     "activated",
+    "check_admission_invariants",
     "check_candidate_ids",
     "check_clock_monotonic",
     "check_delta_apply",
@@ -384,6 +385,69 @@ def check_delta_apply(
             f"delta misses {missed.size} freq rows that actually changed "
             f"(first: {missed[:5].tolist() if missed.size else []})",
         )
+
+
+# ----------------------------------------------------------------------
+# Serving admission contracts
+# ----------------------------------------------------------------------
+
+def check_admission_invariants(
+    queue_depth: int,
+    queue_bound: int,
+    submitted: int,
+    in_flight: int,
+    outcomes: dict[str, int],
+    total_queued: int | None = None,
+) -> None:
+    """Bookkeeping invariants of the serving front-end's admission control.
+
+    Called by :class:`~repro.serve.frontend.ServeFrontend` at every
+    admission and terminal event (under ``REPRO_CONTRACTS=1``):
+
+    * the admission queue never holds more than its configured bound,
+      and its depth is never negative;
+    * terminal outcomes are exactly the three the API promises
+      (``success`` / ``timeout`` / ``shed``), each with a non-negative
+      count;
+    * conservation: every submitted request is either still queued,
+      in service, or resolved with **exactly one** terminal outcome —
+      a lost response or a double-resolved request breaks the equality
+      in one direction or the other.
+
+    ``queue_depth``/``queue_bound`` describe the *one* queue an event
+    touched; the ledger totals (``submitted``, ``in_flight``, and the
+    conservation law) span the whole front-end, so a sharded caller
+    must pass the queue depth summed over every shard as
+    ``total_queued`` (defaults to ``queue_depth`` for the single-queue
+    case).
+    """
+    require(
+        0 <= queue_depth <= queue_bound,
+        f"admission queue depth {queue_depth} outside [0, {queue_bound}]",
+    )
+    unknown = set(outcomes) - {"success", "timeout", "shed"}
+    require(
+        not unknown,
+        f"unknown terminal outcome(s) {sorted(unknown)}; a request must "
+        "resolve as success, timeout, or shed",
+    )
+    require(
+        all(count >= 0 for count in outcomes.values()),
+        f"negative terminal outcome count in {outcomes}",
+    )
+    require(in_flight >= 0, f"in-flight count is negative: {in_flight}")
+    queued = queue_depth if total_queued is None else total_queued
+    require(
+        queued >= queue_depth,
+        f"total queued {queued} is less than one queue's depth {queue_depth}",
+    )
+    resolved = sum(outcomes.values())
+    require(
+        submitted == resolved + queued + in_flight,
+        f"admission conservation broken: {submitted} submitted != "
+        f"{resolved} resolved + {queued} queued + "
+        f"{in_flight} in flight (a request was lost or resolved twice)",
+    )
 
 
 # ----------------------------------------------------------------------

@@ -281,6 +281,34 @@ class LookupWorkspace:
             self._executor_workers = workers
         return self._executor
 
+    def close(self) -> None:
+        """Release the workspace: join probe threads, drop pooled buffers.
+
+        Shuts down the probe :class:`ThreadPoolExecutor` (joining its
+        ``repro-probe`` threads), closes every per-thread child
+        workspace, and clears the buffer pools.  Idempotent, and the
+        workspace stays usable afterwards — pools regrow and the
+        executor is recreated on demand — so a shared workspace closed
+        twice along two teardown paths is harmless.  Long-lived serving
+        processes call this on worker shutdown; without it the probe
+        executor only ever stops on a *resize* (see :meth:`executor`).
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_workers = 0
+        for child in self._children.values():
+            child.close()
+        self._children.clear()
+        self._pools.clear()
+        self._arange = np.empty(0, dtype=np.intp)
+
+    def __enter__(self) -> "LookupWorkspace":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def _pool(self, name: str, dtype: np.dtype, size: int) -> np.ndarray:
         key = (name, dtype)
         buf = self._pools.get(key)

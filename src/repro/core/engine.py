@@ -33,6 +33,7 @@ from typing import NamedTuple, Sequence
 import numpy as np
 
 from repro.core.cache import LayerProbe, LookupWorkspace, SemanticCache
+from repro.core.probe import walk_cache_batch
 from repro.models.base import SimulatedModel
 from repro.models.feature import SampleBatch, SampleFeatures
 
@@ -226,6 +227,16 @@ class BatchedInferenceEngine:
         """Re-point the engine at a shared workspace (cluster pooling)."""
         self.workspace = workspace
 
+    def close(self) -> None:
+        """Release the engine's workspace (probe threads + buffer pools).
+
+        Safe on shared workspaces —
+        :meth:`~repro.core.cache.LookupWorkspace.close` is idempotent —
+        so every engine pointing at a pooled cluster workspace may call
+        this on teardown.
+        """
+        self.workspace.close()
+
     def infer_batch(
         self, samples: SampleBatch | Sequence[SampleFeatures]
     ) -> list[InferenceOutcome]:
@@ -329,9 +340,11 @@ class BatchedInferenceEngine:
         :meth:`infer_batch` (and therefore as the scalar engine), but the
         outcomes stay as whole-batch arrays: nothing per-sample is
         constructed, which is what keeps a full protocol round
-        array-at-a-time end to end.  Per-layer vector gathers go through
-        the engine workspace (``np.take`` into pooled buffers) and the
-        sample tensor is cast to the cache dtype at most once per batch.
+        array-at-a-time end to end.  The probe math itself is the shared
+        :func:`~repro.core.probe.walk_cache_batch` walk (the same pure
+        kernel the serving workers run); this method layers the profile's
+        latency accounting and the full-model miss classification on top
+        of the walk's hit layers.
 
         Args:
             samples: the batch to run.
@@ -349,22 +362,24 @@ class BatchedInferenceEngine:
         # dtypes, no per-call float64 allocations); see the BatchOutcomes
         # docstring for the resulting view lifetime.
         ws = self.workspace
-        predicted = ws.ints("engine.predicted", (batch,))
-        hit_layer = ws.ints("engine.hit_layer", (batch,))
         latency = ws.floats("engine.latency", (batch,), np.float64)
-        hit_score = ws.floats("engine.hit_score", (batch,), np.float64)
         top2_gap = ws.floats("engine.top2_gap", (batch,), np.float64)
-        predicted.fill(0)
-        hit_layer.fill(-1)
         latency.fill(0.0)
-        hit_score.fill(np.nan)
         top2_gap.fill(np.nan)
-        if batch == 0:
-            return BatchOutcomes(predicted, hit_layer, latency, hit_score, top2_gap)
-        vectors = _batch_vectors(samples)  # (B, L+1, d)
-        final = self.model.feature_space.final_layer
 
-        if cache is None or not cache.active_layers:
+        if batch == 0 or cache is None or not cache.active_layers:
+            predicted = ws.ints("engine.predicted", (batch,))
+            hit_layer = ws.ints("engine.hit_layer", (batch,))
+            hit_score = ws.floats("engine.hit_score", (batch,), np.float64)
+            predicted.fill(0)
+            hit_layer.fill(-1)
+            hit_score.fill(np.nan)
+            if batch == 0:
+                return BatchOutcomes(
+                    predicted, hit_layer, latency, hit_score, top2_gap
+                )
+            vectors = _batch_vectors(samples)  # (B, L+1, d)
+            final = self.model.feature_space.final_layer
             start = time.perf_counter() if timings is not None else 0.0
             predictions, gaps = self.model.classify_vectors(vectors[:, final, :])
             if timings is not None:
@@ -376,58 +391,65 @@ class BatchedInferenceEngine:
             top2_gap[:] = gaps
             return BatchOutcomes(predicted, hit_layer, latency, hit_score, top2_gap)
 
+        vectors = _batch_vectors(samples)  # (B, L+1, d)
+        final = self.model.feature_space.final_layer
+
+        # Pure probe math: the shared cache walk (identical kernels and
+        # early-exit semantics to the scalar engine and the serving path).
         start = time.perf_counter() if timings is not None else 0.0
-        session = cache.start_batch_session(batch, workspace=self.workspace)
-        if timings is not None:
-            session.timings = {}
-        workspace = self.workspace
-        if vectors.dtype == cache.dtype:
-            probe_vectors = vectors
-        else:
-            probe_vectors = vectors.astype(cache.dtype, copy=False)
-        accelerated = cache.shortlist_layers()
-        if accelerated:
-            deepest = accelerated[-1]
-            session.prime_shortlist(deepest, probe_vectors[:, deepest, :])
-        dim = probe_vectors.shape[-1]
-        lookup_ms = workspace.floats("engine.lookup_ms", (batch,), np.float64)
-        lookup_ms.fill(0.0)
-        alive = workspace.arange(batch)
-        for layer in cache.active_layers:
-            lookup_ms[alive] += profile.lookup_cost_ms(cache.num_entries(layer))
-            gathered = workspace.floats("engine.take", (alive.size, dim), cache.dtype)
-            np.take(probe_vectors[:, layer, :], alive, axis=0, out=gathered)
-            result = session.probe(layer, gathered, rows=alive)
-            if result.hit.any():
-                hitters = alive[result.hit]
-                predicted[hitters] = result.top_class[result.hit]
-                hit_layer[hitters] = layer
-                latency[hitters] = (
-                    profile.compute_up_to_layer_ms(layer) + lookup_ms[hitters]
-                )
-                hit_score[hitters] = result.score[result.hit]
-                alive = alive[~result.hit]
-                if alive.size == 0:
-                    break
+        session_split: dict[str, float] | None = (
+            {} if timings is not None else None
+        )
+        walk = walk_cache_batch(cache, vectors, ws, timings=session_split)
         if timings is not None:
             timings["probe"] = (
                 timings.get("probe", 0.0) + time.perf_counter() - start
             )
             # Session-level probe split (the coarse/LSH shortlist pass
             # vs exact scoring) for the profile-round breakdown.
-            assert session.timings is not None
-            for stage, seconds in session.timings.items():
+            assert session_split is not None
+            for stage, seconds in session_split.items():
                 key = f"probe-{stage}"
                 timings[key] = timings.get(key, 0.0) + seconds
 
-        if alive.size:
+        # Orchestration: Eq. 7 latency accounting on top of the walk.  A
+        # row that probed k layers paid the lookup cost of the first k
+        # activated layers; a hit at layer j additionally executed the
+        # model only up to j.
+        active = cache.active_layers
+        cum_lookup = ws.floats(
+            "engine.cum_lookup", (len(active) + 1,), np.float64
+        )
+        cum_lookup[0] = 0.0
+        for k, layer in enumerate(active):
+            cum_lookup[k + 1] = cum_lookup[k] + profile.lookup_cost_ms(
+                cache.num_entries(layer)
+            )
+        np.take(cum_lookup, walk.layers_probed, out=latency)
+
+        hit_rows = np.flatnonzero(walk.hit)
+        if hit_rows.size:
+            prefix_ms = ws.floats(
+                "engine.prefix_ms", (len(active),), np.float64
+            )
+            for k, layer in enumerate(active):
+                prefix_ms[k] = profile.compute_up_to_layer_ms(layer)
+            # The hit layer of a row that probed k layers is active[k-1].
+            latency[hit_rows] += prefix_ms[walk.layers_probed[hit_rows] - 1]
+
+        miss_rows = np.flatnonzero(~walk.hit)
+        if miss_rows.size:
             start = time.perf_counter() if timings is not None else 0.0
-            predictions, gaps = self.model.classify_vectors(vectors[alive, final, :])
+            predictions, gaps = self.model.classify_vectors(
+                vectors[miss_rows, final, :]
+            )
             if timings is not None:
                 timings["model"] = (
                     timings.get("model", 0.0) + time.perf_counter() - start
                 )
-            predicted[alive] = predictions
-            latency[alive] = profile.total_compute_ms + lookup_ms[alive]
-            top2_gap[alive] = gaps
-        return BatchOutcomes(predicted, hit_layer, latency, hit_score, top2_gap)
+            walk.predicted[miss_rows] = predictions
+            latency[miss_rows] += profile.total_compute_ms
+            top2_gap[miss_rows] = gaps
+        return BatchOutcomes(
+            walk.predicted, walk.hit_layer, latency, walk.hit_score, top2_gap
+        )

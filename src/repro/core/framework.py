@@ -354,3 +354,14 @@ class CoCaFramework:
             clients=self.clients,
             reports=all_reports,
         )
+
+    def close(self) -> None:
+        """Release probe resources: every engine workspace and the shared pool.
+
+        Engines pointed at the shared framework workspace close it
+        idempotently; engines re-pointed elsewhere (the cluster driver
+        pools them per node) close their own.
+        """
+        for client in self.clients:
+            client.batch_engine.close()
+        self.workspace.close()

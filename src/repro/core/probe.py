@@ -1,0 +1,128 @@
+"""Pure batched cache-walk: probe math with no model, profile or clock.
+
+The cache-instrumented inference loop has two halves.  The *probe
+math* — prime the shortlist from the deepest accelerated layer, score
+each activated layer against the still-unresolved rows, apply Eq. 1/2,
+mask out rows that hit — needs only a :class:`SemanticCache` and the
+query vectors.  The *orchestration* around it — charging profile
+latencies, classifying misses with the simulated model, collecting
+training pairs — needs the whole client stack.
+
+:func:`walk_cache_batch` is the first half on its own.  The batched
+engine builds its latency accounting on top of it (hit layers determine
+the charged compute prefix and the lookup-cost sum), and the serving
+workers of :mod:`repro.serve` call it directly: a worker process
+rebuilds a view-backed cache from a snapshot path and walks it — no
+model object, no pickled tables, nothing but the mapped centroid bytes.
+
+For rows that miss every layer the walk still reports the deepest
+layer's top class as ``miss_guess``: the best answer the cache alone
+can give.  The engine ignores it (misses run the full model); a serving
+worker returns it as the cache-served approximate prediction.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.core.cache import LookupWorkspace, SemanticCache
+
+
+class CacheWalk(NamedTuple):
+    """Outcome arrays of one batched cache walk.
+
+    All arrays are ``(B,)`` views into the workspace pools — valid until
+    the next walk on the same workspace; ``.copy()`` to retain longer.
+
+    Attributes:
+        predicted: top class per row — the hit layer's winner for rows
+            that hit, the deepest probed layer's winner (``miss_guess``)
+            for rows that missed everywhere, ``-1`` if nothing was
+            probed at all (cache with no active layers).
+        hit_layer: cache layer that hit, ``-1`` on miss.
+        hit_score: Eq. 2 score at the hit layer, ``np.nan`` on miss.
+        layers_probed: number of activated layers each row probed
+            (early exit stops the count at the hit layer).
+    """
+
+    predicted: np.ndarray
+    hit_layer: np.ndarray
+    hit_score: np.ndarray
+    layers_probed: np.ndarray
+
+    @property
+    def hit(self) -> np.ndarray:
+        """Boolean hit mask, ``(B,)``."""
+        hit_mask: np.ndarray = self.hit_layer >= 0
+        return hit_mask
+
+
+def walk_cache_batch(
+    cache: SemanticCache,
+    vectors: np.ndarray,
+    workspace: LookupWorkspace,
+    timings: dict[str, float] | None = None,
+) -> CacheWalk:
+    """Probe every activated cache layer over a batch, with early exit.
+
+    Args:
+        vectors: ``(B, L+1, d)`` per-layer query tensor; row index along
+            axis 1 is the model layer id, matching the cache's layer
+            indexing.  Cast to the cache dtype at most once.
+        workspace: probe buffer pool; the returned arrays live in it.
+        timings: optional accumulator for the session's probe-kernel
+            split (keys ``"shortlist"`` / ``"rescore"``), matching the
+            :class:`~repro.core.cache.BatchedLookupSession` convention.
+
+    Returns:
+        A :class:`CacheWalk` with one entry per batch row, identical to
+        what the scalar ``LookupSession`` would produce row by row.
+    """
+    if vectors.ndim != 3:
+        raise ValueError(
+            f"expected a (B, L+1, d) vector tensor, got shape {vectors.shape}"
+        )
+    batch = vectors.shape[0]
+    predicted = workspace.ints("walk.predicted", (batch,))
+    hit_layer = workspace.ints("walk.hit_layer", (batch,))
+    hit_score = workspace.floats("walk.hit_score", (batch,), np.float64)
+    layers_probed = workspace.ints("walk.layers_probed", (batch,))
+    predicted.fill(-1)
+    hit_layer.fill(-1)
+    hit_score.fill(np.nan)
+    layers_probed.fill(0)
+    if batch == 0 or not cache.active_layers:
+        return CacheWalk(predicted, hit_layer, hit_score, layers_probed)
+
+    session = cache.start_batch_session(batch, workspace=workspace)
+    if timings is not None:
+        session.timings = timings
+    if vectors.dtype == cache.dtype:
+        probe_vectors = vectors
+    else:
+        probe_vectors = vectors.astype(cache.dtype, copy=False)
+    accelerated = cache.shortlist_layers()
+    if accelerated:
+        deepest = accelerated[-1]
+        session.prime_shortlist(deepest, probe_vectors[:, deepest, :])
+    dim = probe_vectors.shape[-1]
+    alive = workspace.arange(batch)
+    for layer in cache.active_layers:
+        layers_probed[alive] += 1
+        gathered = workspace.floats("walk.take", (alive.size, dim), cache.dtype)
+        np.take(probe_vectors[:, layer, :], alive, axis=0, out=gathered)
+        result = session.probe(layer, gathered, rows=alive)
+        # Record the current winner for every still-alive row: rows that
+        # hit keep it as the final prediction, rows that go on miss-ing
+        # end up with the deepest layer's guess.
+        predicted[alive] = result.top_class
+        if result.hit.any():
+            hitters = alive[result.hit]
+            hit_layer[hitters] = layer
+            hit_score[hitters] = result.score[result.hit]
+            alive = alive[~result.hit]
+            if alive.size == 0:
+                break
+    return CacheWalk(predicted, hit_layer, hit_score, layers_probed)

@@ -1,0 +1,205 @@
+"""Shard worker: a snapshot-backed serving path that crosses process
+boundaries by *path*, never by pickled table.
+
+One worker hosts the serving half of an
+:class:`~repro.cluster.node.EdgeServerNode`: a full-table replica cache
+rebuilt from a :class:`~repro.store.MappedTableStore` snapshot (warm,
+O(ms), read-only mmap shared with every sibling worker) plus a private
+:class:`~repro.core.cache.LookupWorkspace`, walked with the pure
+:func:`~repro.core.probe.walk_cache_batch` kernel.  The front-end runs
+one single-worker executor per shard — a ``ProcessPoolExecutor`` or a
+``ThreadPoolExecutor``, selectable — and both executors run
+:func:`initialize_worker` once per worker and tasks on that worker's
+(single) thread, so worker state lives in a ``threading.local`` and the
+same module serves both modes unchanged.
+
+What crosses the boundary per request is the query tensor ``(B, L+1, d)``
+and a small :class:`WorkerReply` of per-frame results — kilobytes.  The
+centroid table itself is never serialized: every process maps the same
+snapshot bytes from the page cache.
+
+**Emulated device compute.**  As everywhere in this reproduction, the
+DNN itself is simulated: the probe math is real, and the edge device's
+per-request service time is emulated by a wall-clock *service floor*
+(``service_floor_ms``, the analogue of
+:attr:`~repro.sim.network.ServerLoadModel.service_time_ms`) plus an
+optional per-missed-frame penalty (``miss_ms``, the full-model run a
+miss would cost).  A floor-dominated service time is deterministic —
+exactly the M/D/1 service process the analytic cross-check assumes —
+and lets saturation-throughput measurements exercise the concurrency
+layer rather than NumPy's single-core matmul throughput.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.core.cache import LookupWorkspace, SemanticCache
+from repro.core.probe import walk_cache_batch
+from repro.store import MappedTableStore
+
+#: Meta-array name of the calibrated per-layer similarity floors a
+#: server-written snapshot carries (see CoCaServer.save_snapshot).
+_FLOOR_REFERENCE = "reference_similarity_floor"
+
+
+class WorkerOptions(NamedTuple):
+    """Picklable knobs shipped to every worker at pool start.
+
+    Attributes:
+        alpha: Eq. 1 cross-layer accumulation factor.
+        theta: Eq. 2 early-exit threshold.
+        service_floor_ms: emulated per-request device service time; the
+            worker sleeps out the remainder after the real probe math.
+        miss_ms: emulated full-model time per frame that missed every
+            cache layer (0 = serve the cache's best guess immediately).
+        use_floors: apply the snapshot's calibrated per-layer similarity
+            floors when present.
+    """
+
+    alpha: float = 0.5
+    theta: float = 0.05
+    service_floor_ms: float = 0.0
+    miss_ms: float = 0.0
+    use_floors: bool = True
+
+
+class WorkerReply(NamedTuple):
+    """Per-request result shipped back from a shard worker.
+
+    Arrays are owned copies (never workspace views), so they survive
+    pickling in process mode and buffer reuse in thread mode.
+
+    Attributes:
+        predicted: ``(B,)`` class served per frame — the hit layer's
+            winner, or the deepest layer's best guess on a miss.
+        hit_layer: ``(B,)`` cache layer that hit, ``-1`` on miss.
+        hit_score: ``(B,)`` Eq. 2 score at the hit layer, NaN on miss.
+        service_ms: wall-clock time the worker spent on this request
+            (probe math + emulated device compute).
+        probe_ms: the real probe-math portion of ``service_ms``.
+        worker_pid: OS pid of the serving worker (distinguishes
+            process-mode workers from thread-mode ones in diagnostics).
+    """
+
+    predicted: np.ndarray
+    hit_layer: np.ndarray
+    hit_score: np.ndarray
+    service_ms: float
+    probe_ms: float
+    worker_pid: int
+
+    @property
+    def hits(self) -> int:
+        return int((self.hit_layer >= 0).sum())
+
+
+class WorkerState:
+    """Everything one shard worker holds between requests."""
+
+    def __init__(self, snapshot_path: str, options: WorkerOptions) -> None:
+        started = time.perf_counter()
+        self.options = options
+        self.store = MappedTableStore(snapshot_path)
+        floors = None
+        if options.use_floors:
+            floors = self.store.references().get(_FLOOR_REFERENCE)
+        self.cache: SemanticCache = self.store.serving_cache(
+            alpha=options.alpha, theta=options.theta, floors=floors
+        )
+        self.workspace = LookupWorkspace()
+        self.init_ms = 1e3 * (time.perf_counter() - started)
+        self.requests_served = 0
+
+    def close(self) -> None:
+        self.workspace.close()
+        self.store.close()
+
+
+_TLS = threading.local()
+
+
+def _state() -> WorkerState:
+    state = getattr(_TLS, "state", None)
+    if state is None:
+        raise RuntimeError(
+            "worker not initialized: run initialize_worker as the pool "
+            "initializer before submitting probe_chunk tasks"
+        )
+    assert isinstance(state, WorkerState)
+    return state
+
+
+def initialize_worker(snapshot_path: str, options: WorkerOptions) -> None:
+    """Pool initializer: build this worker's serving state from the
+    snapshot path (the only table 'transfer' that ever happens)."""
+    _TLS.state = WorkerState(snapshot_path, options)
+
+
+def shutdown_worker() -> None:
+    """Release the worker's mmap handle and probe threads (idempotent).
+
+    Submitted as the last task on a shard lane before the executor shuts
+    down, so long-lived serving workers do not leak probe threads or
+    file handles — the teardown half of the
+    :meth:`~repro.core.cache.LookupWorkspace.close` contract.
+    """
+    state = getattr(_TLS, "state", None)
+    if state is not None:
+        state.close()
+        _TLS.state = None
+
+
+def probe_chunk(vectors: np.ndarray) -> WorkerReply:
+    """Serve one request: walk the cache over a ``(B, L+1, d)`` chunk.
+
+    Runs the pure probe walk, then sleeps out the emulated device
+    compute (service floor + per-miss penalty).  Returns owned copies
+    of the per-frame outcomes.
+    """
+    state = _state()
+    started = time.perf_counter()
+    walk = walk_cache_batch(state.cache, vectors, state.workspace)
+    predicted = walk.predicted.copy()
+    hit_layer = walk.hit_layer.copy()
+    hit_score = walk.hit_score.copy()
+    probe_ms = 1e3 * (time.perf_counter() - started)
+    misses = int((hit_layer < 0).sum())
+    opts = state.options
+    target_ms = opts.service_floor_ms + opts.miss_ms * misses
+    remaining_s = (target_ms - probe_ms) / 1e3
+    if remaining_s > 0:
+        time.sleep(remaining_s)
+    state.requests_served += 1
+    return WorkerReply(
+        predicted=predicted,
+        hit_layer=hit_layer,
+        hit_score=hit_score,
+        service_ms=1e3 * (time.perf_counter() - started),
+        probe_ms=probe_ms,
+        worker_pid=os.getpid(),
+    )
+
+
+def worker_info() -> dict[str, int | float | list[int]]:
+    """Diagnostics snapshot of this worker's serving state.
+
+    Used by tests to prove concurrent readers never promote mapped
+    layers: ``view_backed_layers`` must still cover every active layer
+    after arbitrarily many probes.
+    """
+    state = _state()
+    return {
+        "pid": os.getpid(),
+        "init_ms": state.init_ms,
+        "requests_served": state.requests_served,
+        "active_layers": list(state.cache.active_layers),
+        "view_backed_layers": state.cache.view_backed_layers(),
+        "num_classes": state.cache.num_classes,
+        "epoch": state.store.epoch,
+    }

@@ -9,15 +9,18 @@ rationale.
 from repro.sim.clock import Stopwatch, VirtualClock
 from repro.sim.metrics import (
     InferenceRecord,
+    LatencySummary,
     MetricsCollector,
     MetricsSummary,
     merge_summaries,
     per_class_hit_rates,
+    summarize_latencies,
 )
 from repro.sim.network import ServerLoadModel
 
 __all__ = [
     "InferenceRecord",
+    "LatencySummary",
     "MetricsCollector",
     "MetricsSummary",
     "ServerLoadModel",
@@ -25,4 +28,5 @@ __all__ = [
     "VirtualClock",
     "merge_summaries",
     "per_class_hit_rates",
+    "summarize_latencies",
 ]

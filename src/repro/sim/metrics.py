@@ -13,6 +13,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -66,6 +69,72 @@ class MetricsSummary:
             "hit_ratio_pct": round(100.0 * self.hit_ratio, 2),
             "hit_accuracy_pct": round(100.0 * self.hit_accuracy, 2),
         }
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of a set of latency measurements.
+
+    The shared reporting shape for anything that measures per-item
+    times — the wall-clock load generator (:mod:`repro.serve`) and the
+    ``repro profile-round`` per-round breakdown both emit it — so tail
+    behaviour (p95/p99) is reported everywhere a mean alone would hide
+    queueing or stragglers.
+    """
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def as_row(self) -> dict[str, float]:
+        """Flat representation for JSON payloads and table printers."""
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 3),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+    def format(self) -> str:
+        """One-line human rendering (``p50/p95/p99`` with mean and max)."""
+        return (
+            f"n={self.count} mean={self.mean_ms:.2f}ms "
+            f"p50={self.p50_ms:.2f}ms p95={self.p95_ms:.2f}ms "
+            f"p99={self.p99_ms:.2f}ms max={self.max_ms:.2f}ms"
+        )
+
+
+def summarize_latencies(
+    values_ms: Sequence[float] | np.ndarray,
+) -> LatencySummary:
+    """Percentile summary (p50/p95/p99, mean, max) of latency samples.
+
+    Percentiles use linear interpolation (NumPy's default), so known
+    small distributions have exact, testable values.
+
+    Raises:
+        ValueError: on an empty input — every reported statistic would
+            be undefined, same contract as :meth:`MetricsCollector.summary`.
+    """
+    data = np.asarray(values_ms, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot summarize an empty latency set")
+    if data.ndim != 1:
+        data = data.reshape(-1)
+    p50, p95, p99 = np.percentile(data, (50.0, 95.0, 99.0))
+    return LatencySummary(
+        count=int(data.size),
+        mean_ms=float(data.mean()),
+        p50_ms=float(p50),
+        p95_ms=float(p95),
+        p99_ms=float(p99),
+        max_ms=float(data.max()),
+    )
 
 
 class MetricsCollector:

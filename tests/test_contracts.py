@@ -147,6 +147,100 @@ def test_merged_rows_normalized_pass_and_fail():
 
 
 # ----------------------------------------------------------------------
+# Serving admission contracts
+# ----------------------------------------------------------------------
+
+def test_admission_invariants_pass_on_balanced_ledger():
+    contracts.check_admission_invariants(
+        queue_depth=0, queue_bound=4, submitted=0, in_flight=0, outcomes={}
+    )
+    contracts.check_admission_invariants(
+        queue_depth=2,
+        queue_bound=4,
+        submitted=10,
+        in_flight=1,
+        outcomes={"success": 5, "timeout": 1, "shed": 1},
+    )
+
+
+def test_admission_sharded_ledger_uses_total_queued():
+    # The bound check sees one lane's depth; conservation needs the sum
+    # across every lane.
+    contracts.check_admission_invariants(
+        queue_depth=1,
+        queue_bound=4,
+        submitted=6,
+        in_flight=2,
+        outcomes={"success": 1},
+        total_queued=3,
+    )
+    with pytest.raises(ContractViolation, match="conservation"):
+        contracts.check_admission_invariants(
+            queue_depth=1,
+            queue_bound=4,
+            submitted=6,
+            in_flight=2,
+            outcomes={"success": 1},
+            total_queued=2,
+        )
+    with pytest.raises(ContractViolation, match="less than one queue"):
+        contracts.check_admission_invariants(
+            queue_depth=3,
+            queue_bound=4,
+            submitted=3,
+            in_flight=0,
+            outcomes={},
+            total_queued=1,
+        )
+
+
+def test_admission_queue_bound_fires():
+    with pytest.raises(ContractViolation, match="queue depth"):
+        contracts.check_admission_invariants(
+            queue_depth=5, queue_bound=4, submitted=5, in_flight=0, outcomes={}
+        )
+    with pytest.raises(ContractViolation, match="queue depth"):
+        contracts.check_admission_invariants(
+            queue_depth=-1, queue_bound=4, submitted=0, in_flight=1, outcomes={}
+        )
+
+
+def test_admission_unknown_outcome_fires():
+    with pytest.raises(ContractViolation, match="unknown terminal"):
+        contracts.check_admission_invariants(
+            queue_depth=0,
+            queue_bound=4,
+            submitted=1,
+            in_flight=0,
+            outcomes={"dropped": 1},
+        )
+
+
+def test_admission_lost_response_fires():
+    # 3 submitted but only 2 accounted for anywhere: one was lost.
+    with pytest.raises(ContractViolation, match="conservation"):
+        contracts.check_admission_invariants(
+            queue_depth=0,
+            queue_bound=4,
+            submitted=3,
+            in_flight=1,
+            outcomes={"success": 1},
+        )
+
+
+def test_admission_double_resolution_fires():
+    # More terminal outcomes than submissions: something resolved twice.
+    with pytest.raises(ContractViolation, match="conservation"):
+        contracts.check_admission_invariants(
+            queue_depth=0,
+            queue_bound=4,
+            submitted=1,
+            in_flight=0,
+            outcomes={"success": 1, "timeout": 1},
+        )
+
+
+# ----------------------------------------------------------------------
 # Clock and workspace contracts
 # ----------------------------------------------------------------------
 

@@ -423,3 +423,75 @@ class TestLookupWorkspace:
         out = np.empty(32)
         workspace.scores_into(best, second, out)
         assert np.array_equal(out, discriminative_score(best, second))
+
+
+class TestLookupWorkspaceClose:
+    """Teardown contract: close() must join the probe threads."""
+
+    @staticmethod
+    def _probe_threads() -> list:
+        import threading
+
+        return [
+            t for t in threading.enumerate()
+            if t.name.startswith("repro-probe") and t.is_alive()
+        ]
+
+    def test_close_joins_probe_threads(self):
+        from repro.core.cache import LookupWorkspace
+
+        workspace = LookupWorkspace()
+        executor = workspace.executor(2)
+        # Force the pool to actually spawn its threads.
+        assert executor.submit(lambda: 1).result() == 1
+        assert executor.submit(lambda: 2).result() == 2
+        before = len(self._probe_threads())
+        assert before >= 1
+        workspace.close()
+        assert self._probe_threads() == []
+        assert workspace._executor is None
+
+    def test_close_is_idempotent_and_workspace_stays_usable(self):
+        from repro.core.cache import LookupWorkspace
+
+        workspace = LookupWorkspace()
+        workspace.floats("x", (4,), np.float32)
+        workspace.for_thread(1).floats("y", (4,), np.float32)
+        workspace.close()
+        workspace.close()
+        assert workspace._children == {}
+        assert workspace._pools == {}
+        # Pools regrow and the executor comes back on demand.
+        assert workspace.floats("x", (8,), np.float32).shape == (8,)
+        assert workspace.executor(1).submit(lambda: 3).result() == 3
+        workspace.close()
+        assert self._probe_threads() == []
+
+    def test_context_manager_closes(self):
+        from repro.core.cache import LookupWorkspace
+
+        with LookupWorkspace() as workspace:
+            workspace.executor(1).submit(lambda: 0).result()
+        assert workspace._executor is None
+        assert self._probe_threads() == []
+
+    def test_engine_and_node_teardown_close_their_workspaces(self, tiny_model):
+        from repro.cluster.node import EdgeServerNode
+        from repro.core.engine import BatchedInferenceEngine
+
+        engine = BatchedInferenceEngine(tiny_model)
+        engine.workspace.executor(1).submit(lambda: 0).result()
+        engine.close()
+        assert engine.workspace._executor is None
+
+        from repro.core.server import GlobalCacheTable
+
+        class _Holder:
+            def __init__(self, table):
+                self.table = table
+
+        node = EdgeServerNode(0, _Holder(GlobalCacheTable(8, 6, 16)))
+        node.workspace.executor(1).submit(lambda: 0).result()
+        node.close()
+        assert node.workspace._executor is None
+        assert self._probe_threads() == []

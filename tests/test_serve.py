@@ -1,0 +1,402 @@
+"""Tests for the real-concurrency serving front-end (:mod:`repro.serve`).
+
+Covers the pure cache-walk kernel the workers run, worker lifecycle
+(initialize / probe / shutdown over a snapshot path), the asyncio
+admission path (success, shed, timeout, retry, conservation ledger,
+armed contracts), the load generator and its analytic cross-check, and
+the ``repro serve`` / ``repro loadgen`` CLI round-trip.
+
+Everything here runs wall-clock (this is the one package where that is
+the point); floors and durations are kept to tens of milliseconds so
+the suite stays fast on one core.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import contracts
+from repro.cli import main as cli_main
+from repro.contracts import ContractViolation
+from repro.core.cache import LookupWorkspace
+from repro.core.probe import walk_cache_batch
+from repro.core.server import GlobalCacheTable
+from repro.serve import (
+    LoadgenConfig,
+    ServeConfig,
+    ServeFrontend,
+    WorkerOptions,
+    analytic_wait_ms,
+    initialize_worker,
+    probe_chunk,
+    run_loadgen,
+    shutdown_worker,
+    synthesize_requests,
+    worker_info,
+)
+from repro.serve.worker import _state
+from repro.store import MappedTableStore, write_snapshot
+
+NUM_CLASSES, NUM_LAYERS, DIM = 24, 10, 8
+
+
+def unit_rows(shape: tuple[int, ...], seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    rows = rng.standard_normal(shape)
+    return rows / np.linalg.norm(rows, axis=-1, keepdims=True)
+
+
+@pytest.fixture
+def snapshot(tmp_path) -> str:
+    table = GlobalCacheTable(NUM_CLASSES, NUM_LAYERS, DIM)
+    table.entries = unit_rows((NUM_CLASSES, NUM_LAYERS, DIM), seed=0)
+    table.filled[:] = True
+    table.class_freq = np.full(NUM_CLASSES, 4.0)
+    write_snapshot(tmp_path / "snap", table, epoch=1)
+    return str(tmp_path / "snap")
+
+
+def centroid_queries(snapshot: str, classes: list[int]) -> np.ndarray:
+    """Exact stored centroids as queries: guaranteed first-layer hits."""
+    with MappedTableStore(snapshot) as store:
+        vectors = np.empty(
+            (len(classes), store.num_layers, store.dim), dtype=store.dtype
+        )
+        for layer in range(store.num_layers):
+            vectors[:, layer, :] = store.layer_view(layer)[classes]
+    return vectors
+
+
+# ----------------------------------------------------------------------
+# Pure walk kernel (what the workers run)
+# ----------------------------------------------------------------------
+
+
+class TestWalkCacheBatch:
+    def test_exact_centroids_hit_their_class(self, snapshot):
+        classes = [0, 5, 11, 23]
+        vectors = centroid_queries(snapshot, classes)
+        with MappedTableStore(snapshot) as store:
+            cache = store.serving_cache()
+            with LookupWorkspace() as workspace:
+                walk = walk_cache_batch(cache, vectors, workspace)
+                assert walk.hit.all()
+                assert np.array_equal(walk.predicted, classes)
+                assert (walk.layers_probed >= 1).all()
+
+    def test_impossible_theta_misses_everywhere(self, snapshot):
+        vectors = centroid_queries(snapshot, [3, 7])
+        with MappedTableStore(snapshot) as store:
+            # An unreachable theta: no Eq. 2 score can ever early-exit.
+            cache = store.serving_cache(theta=1e6)
+            with LookupWorkspace() as workspace:
+                walk = walk_cache_batch(cache, vectors, workspace)
+                assert not walk.hit.any()
+                assert (walk.hit_layer == -1).all()
+                assert np.isnan(walk.hit_score).all()
+                # Misses still carry the deepest layer's best guess.
+                assert (walk.predicted >= 0).all()
+                assert (walk.layers_probed == len(cache.active_layers)).all()
+
+    def test_empty_batch(self, snapshot):
+        with MappedTableStore(snapshot) as store:
+            cache = store.serving_cache()
+            with LookupWorkspace() as workspace:
+                empty = np.empty((0, NUM_LAYERS, DIM))
+                walk = walk_cache_batch(cache, empty, workspace)
+                assert walk.predicted.shape == (0,)
+
+
+# ----------------------------------------------------------------------
+# Worker lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestWorker:
+    def test_probe_before_initialize_raises(self):
+        shutdown_worker()  # ensure this thread's slate is clean
+        with pytest.raises(RuntimeError, match="not initialized"):
+            probe_chunk(np.zeros((1, NUM_LAYERS, DIM)))
+
+    def test_serve_cycle_in_thread(self, snapshot):
+        initialize_worker(snapshot, WorkerOptions(service_floor_ms=10.0))
+        try:
+            vectors = centroid_queries(snapshot, [1, 2, 3])
+            reply = probe_chunk(vectors)
+            assert np.array_equal(reply.predicted, [1, 2, 3])
+            assert reply.hits == 3
+            assert reply.worker_pid == os.getpid()
+            # Replies are owned copies, not workspace views.
+            assert reply.predicted.base is None
+            assert reply.hit_layer.base is None
+            # The emulated device floor dominates the service time.
+            assert reply.service_ms >= 9.0
+            assert reply.probe_ms <= reply.service_ms
+            info = worker_info()
+            assert info["requests_served"] == 1
+            assert info["epoch"] == 1
+            assert info["view_backed_layers"] == info["active_layers"]
+        finally:
+            shutdown_worker()
+        with pytest.raises(RuntimeError):
+            probe_chunk(vectors)
+
+    def test_shutdown_is_idempotent_and_joins_probe_threads(self, snapshot):
+        initialize_worker(snapshot, WorkerOptions())
+        state = _state()
+        state.workspace.executor(2)  # spin up probe threads
+        shutdown_worker()
+        shutdown_worker()
+        assert state.workspace._executor is None
+
+
+# ----------------------------------------------------------------------
+# Admission front-end
+# ----------------------------------------------------------------------
+
+
+def drive(coro):
+    return asyncio.run(coro)
+
+
+class TestFrontend:
+    def test_round_trip_and_routing(self, snapshot):
+        async def scenario():
+            config = ServeConfig(snapshot_path=snapshot, num_workers=2)
+            async with ServeFrontend(config) as frontend:
+                vectors = centroid_queries(snapshot, [4])
+                result = await frontend.submit(4, vectors)
+                assert result.ok
+                assert result.shard == frontend.shard_of(4)
+                assert result.hits == 1
+                assert result.frames == 1
+                stats = frontend.stats()
+                assert stats["submitted"] == 1
+                assert stats["success"] == 1
+                assert stats["lanes"][result.shard]["served"] == 1
+                assert stats["lanes"][result.shard]["worker"]["pid"] > 0
+            return frontend.stats()
+
+        stats = drive(scenario())
+        assert stats["queued"] == 0 and stats["in_flight"] == 0
+
+    def test_overload_sheds_and_conserves(self, snapshot):
+        async def scenario():
+            config = ServeConfig(
+                snapshot_path=snapshot,
+                num_workers=1,
+                queue_depth=1,
+                deadline_ms=2000.0,
+                worker=WorkerOptions(service_floor_ms=30.0),
+            )
+            async with ServeFrontend(config) as frontend:
+                vectors = centroid_queries(snapshot, [0])
+                results = await asyncio.gather(
+                    *(frontend.submit(0, vectors) for _ in range(6))
+                )
+                stats = frontend.stats()
+            return results, stats
+
+        results, stats = drive(scenario())
+        outcomes = [r.outcome for r in results]
+        assert outcomes.count("shed") >= 1
+        shed = next(r for r in results if r.outcome == "shed")
+        assert shed.retry_after_ms > 0
+        # Every request got exactly one terminal outcome.
+        assert stats["submitted"] == 6
+        assert stats["success"] + stats["timeout"] + stats["shed"] == 6
+
+    def test_deadline_timeout_and_late_response(self, snapshot):
+        async def scenario():
+            config = ServeConfig(
+                snapshot_path=snapshot,
+                num_workers=1,
+                deadline_ms=10.0,
+                worker=WorkerOptions(service_floor_ms=80.0),
+            )
+            async with ServeFrontend(config) as frontend:
+                vectors = centroid_queries(snapshot, [0])
+                result = await frontend.submit(0, vectors)
+                assert result.outcome == "timeout"
+                assert result.latency_ms < 80.0
+            # close() joined the worker, so the late completion landed.
+            return frontend.stats()
+
+        stats = drive(scenario())
+        assert stats["timeout"] == 1
+        assert stats["late_responses"] == 1
+        assert stats["submitted"] == 1
+
+    def test_retry_turns_shed_into_success(self, snapshot):
+        async def scenario():
+            config = ServeConfig(
+                snapshot_path=snapshot,
+                num_workers=1,
+                queue_depth=1,
+                deadline_ms=2000.0,
+                max_retries=8,
+                backoff_base_ms=2.0,
+                worker=WorkerOptions(service_floor_ms=30.0),
+            )
+            async with ServeFrontend(config) as frontend:
+                vectors = centroid_queries(snapshot, [0])
+                # Stagger the fillers so one holds the service slot and
+                # the other holds the single queue seat — a third
+                # arrival must shed until the lane drains.
+                in_service = asyncio.create_task(frontend.submit(0, vectors))
+                await asyncio.sleep(0.015)
+                waiter = asyncio.create_task(frontend.submit(0, vectors))
+                await asyncio.sleep(0.005)
+                retried = await frontend.submit_with_retry(0, vectors)
+                await asyncio.gather(in_service, waiter)
+                stats = frontend.stats()
+            return retried, stats
+
+        retried, stats = drive(scenario())
+        assert retried.ok
+        assert retried.attempts >= 2
+        assert stats["retries"] >= 1
+
+    def test_admission_contract_armed_and_fires(self, snapshot):
+        async def scenario():
+            config = ServeConfig(snapshot_path=snapshot, num_workers=1)
+            async with ServeFrontend(config) as frontend:
+                vectors = centroid_queries(snapshot, [0])
+                with contracts.activated():
+                    # Clean traffic passes under the armed contract.
+                    result = await frontend.submit(0, vectors)
+                    assert result.ok
+                    # A cooked ledger (a lost response) must fire it.
+                    frontend.submitted += 1
+                    with pytest.raises(ContractViolation):
+                        await frontend.submit(0, vectors)
+
+        drive(scenario())
+
+    def test_process_mode_uses_distinct_processes(self, snapshot):
+        async def scenario():
+            config = ServeConfig(
+                snapshot_path=snapshot, num_workers=2, mode="process"
+            )
+            async with ServeFrontend(config) as frontend:
+                pids = {
+                    info["pid"] for info in frontend.worker_infos
+                }
+                # Both shards answer, from their own processes.
+                results = await asyncio.gather(
+                    *(
+                        frontend.submit(c, centroid_queries(snapshot, [c]))
+                        for c in range(6)
+                    )
+                )
+            return pids, results
+
+        pids, results = drive(scenario())
+        assert len(pids) == 2
+        assert os.getpid() not in pids
+        assert all(r.ok for r in results)
+        assert {r.worker_pid for r in results} == pids
+
+
+# ----------------------------------------------------------------------
+# Load generator
+# ----------------------------------------------------------------------
+
+
+class TestLoadgen:
+    def test_synthesized_requests_are_deterministic_units(self, snapshot):
+        a = synthesize_requests(snapshot, num_requests=5, batch=4, seed=7)
+        b = synthesize_requests(snapshot, num_requests=5, batch=4, seed=7)
+        assert len(a) == 5
+        for ra, rb in zip(a, b):
+            assert ra.class_hint == rb.class_hint
+            assert np.array_equal(ra.vectors, rb.vectors)
+            norms = np.linalg.norm(ra.vectors, axis=2)
+            assert np.allclose(norms, 1.0)
+
+    def test_open_loop_resolves_every_request(self, snapshot):
+        config = ServeConfig(
+            snapshot_path=snapshot,
+            num_workers=1,
+            deadline_ms=2000.0,
+            worker=WorkerOptions(service_floor_ms=2.0),
+        )
+        load = LoadgenConfig(rate_per_s=400.0, num_requests=40, batch=4, seed=3)
+        report = run_loadgen(config, load)
+        assert report.offered == 40
+        assert report.resolved == 40
+        assert report.latency is not None
+        assert report.latency.count == report.success
+        assert report.hit_ratio > 0.9  # low-noise traffic mostly hits
+
+    def test_closed_loop_saturates_and_conserves(self, snapshot):
+        config = ServeConfig(
+            snapshot_path=snapshot,
+            num_workers=2,
+            deadline_ms=2000.0,
+            worker=WorkerOptions(service_floor_ms=3.0),
+        )
+        load = LoadgenConfig(
+            rate_per_s=None,
+            concurrency=4,
+            duration_s=0.15,
+            num_requests=16,
+            batch=4,
+            seed=5,
+        )
+        report = run_loadgen(config, load)
+        assert report.mode == "closed-loop"
+        assert report.offered > 0
+        assert report.resolved == report.offered
+        assert report.throughput_rps > 0
+
+    def test_analytic_wait_matches_md1_closed_form(self):
+        # rho = 100/s * 5ms = 0.5; M/D/1 wait = rho*s / (2*(1-rho)).
+        rho, wait = analytic_wait_ms(100.0, 5.0)
+        assert rho == pytest.approx(0.5)
+        assert wait == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            analytic_wait_ms(0.0, 5.0)
+
+
+# ----------------------------------------------------------------------
+# CLI round-trip
+# ----------------------------------------------------------------------
+
+
+class TestServeCli:
+    def test_serve_smoke_json(self, snapshot, capsys):
+        rc = cli_main(
+            ["serve", snapshot, "--workers", "2", "--requests", "8", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workers"] == 2
+        assert payload["smoke"]["success"] == 8
+        assert len(payload["lanes"]) == 2
+        assert all(l["worker"]["pid"] > 0 for l in payload["lanes"])
+
+    def test_loadgen_open_loop_json_with_analytic(self, snapshot, capsys):
+        rc = cli_main(
+            [
+                "loadgen", snapshot,
+                "--workers", "1",
+                "--rate", "300",
+                "--requests", "30",
+                "--service-floor-ms", "2",
+                "--deadline-ms", "2000",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["offered"] == 30
+        assert payload["success"] + payload["timeout"] + payload["shed"] == 30
+        assert payload["latency_ms"]["count"] == payload["success"]
+        assert "analytic" in payload
+        assert payload["analytic"]["utilization"] is not None

@@ -2,10 +2,13 @@
 
 import pytest
 
+import numpy as np
+
 from repro.sim.metrics import (
     InferenceRecord,
     MetricsCollector,
     merge_summaries,
+    summarize_latencies,
 )
 
 
@@ -106,3 +109,43 @@ class TestMergeSummaries:
         b.record(_rec(true=0, pred=1, hit_layer=1))  # 1 hit, wrong
         merged = merge_summaries([a.summary(), b.summary()])
         assert merged.hit_accuracy == pytest.approx(0.5)
+
+
+class TestLatencySummary:
+    """The shared percentile helper used by ``profile-round`` and the
+    serve load generator."""
+
+    def test_known_distribution(self):
+        values = list(range(1, 101))  # 1..100 ms
+        s = summarize_latencies(values)
+        assert s.count == 100
+        assert s.mean_ms == pytest.approx(50.5)
+        assert s.max_ms == pytest.approx(100.0)
+        # np.percentile linear interpolation on 1..100.
+        assert s.p50_ms == pytest.approx(np.percentile(values, 50))
+        assert s.p95_ms == pytest.approx(np.percentile(values, 95))
+        assert s.p99_ms == pytest.approx(np.percentile(values, 99))
+        assert s.p50_ms <= s.p95_ms <= s.p99_ms <= s.max_ms
+
+    def test_single_sample_collapses(self):
+        s = summarize_latencies([42.0])
+        assert s.count == 1
+        assert s.mean_ms == s.p50_ms == s.p99_ms == s.max_ms == 42.0
+
+    def test_empty_raises_like_collector_summary(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+    def test_accepts_ndarray(self):
+        s = summarize_latencies(np.array([5.0, 15.0]))
+        assert s.mean_ms == pytest.approx(10.0)
+
+    def test_as_row_is_rounded(self):
+        row = summarize_latencies([1.23456, 2.34567]).as_row()
+        assert row["mean_ms"] == pytest.approx(1.79, abs=1e-9)
+        assert row["count"] == 2
+
+    def test_format_is_one_line(self):
+        text = summarize_latencies([10.0, 20.0]).format()
+        assert "\n" not in text
+        assert "p95" in text and "n=2" in text

@@ -809,3 +809,108 @@ class TestStoreCli:
 def test_full_rows_nbytes_formula():
     # float64 entries + bool fill + float64 Phi per row.
     assert full_rows_nbytes(3, 4, 5) == 3 * (4 * 5 * 8 + 4 + 8)
+
+
+# ----------------------------------------------------------------------
+# Concurrent readers
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentReaders:
+    """One snapshot, many simultaneous readers: results must be
+    bit-identical and no reader may promote a mapped layer to an owned
+    copy (the zero-copy guarantee serving workers rely on)."""
+
+    C, L, D = 24, 10, 8
+
+    def _snapshot(self, tmp_path) -> str:
+        table = filled_table(self.C, self.L, self.D, seed=3)
+        write_snapshot(tmp_path / "snap", table, epoch=2)
+        return str(tmp_path / "snap")
+
+    def _queries(self, snapshot: str, batch: int = 12) -> np.ndarray:
+        """Half exact centroids (hits), half noise (deep walks)."""
+        rng = np.random.default_rng(9)
+        with MappedTableStore(snapshot) as store:
+            vectors = rng.standard_normal((batch, self.L, self.D))
+            classes = rng.integers(0, self.C, size=batch // 2)
+            for layer in range(self.L):
+                vectors[: batch // 2, layer, :] = store.layer_view(layer)[classes]
+        return vectors / np.linalg.norm(vectors, axis=2, keepdims=True)
+
+    def _walk_once(self, snapshot: str, vectors: np.ndarray):
+        from repro.core.cache import LookupWorkspace
+        from repro.core.probe import walk_cache_batch
+
+        with MappedTableStore(snapshot) as store:
+            cache = store.serving_cache()
+            with LookupWorkspace() as workspace:
+                walk = walk_cache_batch(cache, vectors, workspace)
+                result = (
+                    walk.predicted.copy(),
+                    walk.hit_layer.copy(),
+                    walk.hit_score.copy(),
+                )
+                # Probing never promoted a mapped layer.
+                assert cache.view_backed_layers() == cache.active_layers
+        return result
+
+    @staticmethod
+    def _assert_same(a, b) -> None:
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+        assert np.array_equal(a[2], b[2], equal_nan=True)
+
+    def test_threaded_readers_see_bit_identical_results(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        snapshot = self._snapshot(tmp_path)
+        vectors = self._queries(snapshot)
+        reference = self._walk_once(snapshot, vectors)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(self._walk_once, snapshot, vectors)
+                for _ in range(8)
+            ]
+            for future in futures:
+                self._assert_same(reference, future.result())
+
+    def test_process_readers_see_bit_identical_results(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.serve.worker import (
+            WorkerOptions,
+            initialize_worker,
+            probe_chunk,
+            worker_info,
+        )
+
+        snapshot = self._snapshot(tmp_path)
+        vectors = self._queries(snapshot)
+        reference = self._walk_once(snapshot, vectors)
+        # Snapshots carry no calibrated floors here, and the in-process
+        # reference used serving_cache defaults — match them.
+        options = WorkerOptions(use_floors=False)
+        pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                initializer=initialize_worker,
+                initargs=(snapshot, options),
+            )
+            for _ in range(2)
+        ]
+        try:
+            replies = [pool.submit(probe_chunk, vectors).result() for pool in pools]
+            infos = [pool.submit(worker_info).result() for pool in pools]
+        finally:
+            for pool in pools:
+                pool.shutdown(wait=True)
+        assert len({info["pid"] for info in infos}) == 2
+        for reply, info in zip(replies, infos):
+            self._assert_same(
+                reference, (reply.predicted, reply.hit_layer, reply.hit_score)
+            )
+            # Serving a request left every layer view-backed.
+            assert info["view_backed_layers"] == info["active_layers"]
+            assert info["requests_served"] == 1
+            assert info["epoch"] == 2
